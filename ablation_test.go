@@ -1,0 +1,197 @@
+package repro_test
+
+// Ablation benchmarks for design choices the paper argues about but does
+// not tabulate: synchronizer placement, shared-memory strategy, and the
+// per-personality cost of reaching the same file server.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/ksync"
+	"repro/internal/vm"
+)
+
+// BenchmarkAblationSyncPrimitives: kernel-based vs memory-based
+// synchronizers — the reason the project "implemented a comprehensive set
+// of synchronizers" instead of building them from IPC.
+func BenchmarkAblationSyncPrimitives(b *testing.B) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	f := ksync.NewFactory(eng, cpu.NewLayout(0x200000))
+	km := f.NewKMutex()
+	mm := f.NewMMutex()
+	km.Lock()
+	km.Unlock()
+	mm.Lock()
+	mm.Unlock()
+
+	var kc, mc uint64
+	for i := 0; i < b.N; i++ {
+		base := eng.Counters()
+		for j := 0; j < 100; j++ {
+			km.Lock()
+			km.Unlock()
+		}
+		kc = eng.Counters().Sub(base).Cycles / 100
+		base = eng.Counters()
+		for j := 0; j < 100; j++ {
+			mm.Lock()
+			mm.Unlock()
+		}
+		mc = eng.Counters().Sub(base).Cycles / 100
+	}
+	b.ReportMetric(float64(kc), "kernel-cycles")
+	b.ReportMetric(float64(mc), "memory-cycles")
+	b.ReportMetric(float64(kc)/float64(mc), "ratio")
+}
+
+// BenchmarkAblationSharedMemoryStrategy: passing 16 KiB between address
+// spaces by coerced shared memory (write once, visible everywhere at the
+// same address) versus copy-on-write vm_copy plus touching every page.
+func BenchmarkAblationSharedMemoryStrategy(b *testing.B) {
+	const size = 16 * vm.PageSize
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var coerced, copied uint64
+	for i := 0; i < b.N; i++ {
+		// Coerced: one write, the other space reads in place.
+		s := vm.NewSystem(64 << 20)
+		r, err := s.AllocateCoerced(size, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m1 := s.NewMap(0)
+		m2 := s.NewMap(0)
+		m1.AttachCoerced(r)
+		m2.AttachCoerced(r)
+		f0 := s.Phys.UsedFrames()
+		m1.Write(r.Start, payload)
+		m2.Read(r.Start, size)
+		coerced = s.Phys.UsedFrames() - f0
+
+		// COW copy: map-level copy then a write in the destination
+		// touches (and copies) every page.
+		s2 := vm.NewSystem(64 << 20)
+		src := s2.NewMap(0)
+		dst := s2.NewMap(0)
+		a, _ := src.Allocate(0, size, true)
+		src.Write(a, payload)
+		f0 = s2.Phys.UsedFrames()
+		const at = vm.VAddr(0x3000_0000)
+		if err := dst.Copy(src, a, size, at); err != nil {
+			b.Fatal(err)
+		}
+		for p := 0; p < 16; p++ {
+			dst.Write(at+vm.VAddr(p*vm.PageSize), []byte{1})
+		}
+		copied = s2.Phys.UsedFrames() - f0
+	}
+	b.ReportMetric(float64(coerced), "coerced-frames")
+	b.ReportMetric(float64(copied), "cow-frames-after-write")
+}
+
+// BenchmarkAblationPersonalityFileOp: the same logical file write through
+// each personality's API stack — OS/2 Dos*, POSIX, and the TalOS
+// framework — over one booted system.
+func BenchmarkAblationPersonalityFileOp(b *testing.B) {
+	s, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := s.OS2.CreateProcess("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, err := s.POSIX.Spawn("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ta, err := s.TalOS.NewApp("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 512)
+
+	oh, e := op.DosOpen("/OS2.DAT", true, true)
+	if e != 0 {
+		b.Fatal(e)
+	}
+	pfd, pe := pp.Open("/POSIX.DAT", 0x41)
+	if pe != 0 {
+		b.Fatal(pe)
+	}
+	st, err := ta.CreateFileStream("/TALOS.DAT")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var os2C, posixC, talosC uint64
+	for i := 0; i < b.N; i++ {
+		base := s.Kernel.CPU.Counters()
+		for j := 0; j < 20; j++ {
+			op.DosSetFilePtr(oh, 0)
+			op.DosWrite(oh, data)
+		}
+		os2C = s.Kernel.CPU.Counters().Sub(base).Cycles / 20
+
+		base = s.Kernel.CPU.Counters()
+		for j := 0; j < 20; j++ {
+			pp.Lseek(pfd, 0)
+			pp.Write(pfd, data)
+		}
+		posixC = s.Kernel.CPU.Counters().Sub(base).Cycles / 20
+
+		base = s.Kernel.CPU.Counters()
+		for j := 0; j < 20; j++ {
+			st.SeekTo(0)
+			st.Write(data)
+		}
+		talosC = s.Kernel.CPU.Counters().Sub(base).Cycles / 20
+	}
+	b.ReportMetric(float64(os2C), "os2-cycles")
+	b.ReportMetric(float64(posixC), "posix-cycles")
+	b.ReportMetric(float64(talosC), "talos-cycles")
+}
+
+// BenchmarkAblationEvictionPressure: cost of running a working set at 1x,
+// 2x and 4x of physical memory with the default pager absorbing the
+// overflow — the mechanism behind Table 1's memory asymmetry, isolated.
+func BenchmarkAblationEvictionPressure(b *testing.B) {
+	run := func(overcommit int) uint64 {
+		s, err := core.Boot(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := 64
+		sys := vm.NewSystem(uint64(frames) * vm.PageSize)
+		sys.SetDefaultPager(s.Pager)
+		m := sys.NewMap(0)
+		n := frames * overcommit
+		a, err := m.Allocate(0, uint64(n)*vm.PageSize, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := s.Kernel.CPU.Counters()
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < n; p++ {
+				if err := m.Write(a+vm.VAddr(p*vm.PageSize), []byte{byte(p)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return s.Kernel.CPU.Counters().Sub(base).Cycles / uint64(2*n)
+	}
+	var c1, c2, c4 uint64
+	for i := 0; i < b.N; i++ {
+		c1 = run(1)
+		c2 = run(2)
+		c4 = run(4)
+	}
+	b.ReportMetric(float64(c1), "fit-cycles/touch")
+	b.ReportMetric(float64(c2), "2x-cycles/touch")
+	b.ReportMetric(float64(c4), "4x-cycles/touch")
+}

@@ -1,0 +1,342 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — OS/2 Performance Comparisons.  One benchmark per row; the
+// reported metrics are simulated cycles for each system and the
+// WPOS-to-native ratio (the paper's headline column).
+// ---------------------------------------------------------------------------
+
+func benchmarkTable1Row(b *testing.B, row workload.Row) {
+	b.Helper()
+	var ratio, wpos, native float64
+	for i := 0; i < b.N; i++ {
+		w, err := core.Boot(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := core.BootNative(cpu.Pentium133(), 16, 16384)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wres, err := workload.Run(row, w.WorkloadEnv())
+		if err != nil {
+			b.Fatal(err)
+		}
+		nres, err := workload.Run(row, n.WorkloadEnv())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wpos = float64(wres.Cycles)
+		native = float64(nres.Cycles)
+		ratio = wpos / native
+	}
+	b.ReportMetric(wpos, "wpos-cycles")
+	b.ReportMetric(native, "native-cycles")
+	b.ReportMetric(ratio, "ratio")
+}
+
+func BenchmarkTable1_FileIntensive1(b *testing.B)  { benchmarkTable1Row(b, workload.FileIntensive1) }
+func BenchmarkTable1_FileIntensive2(b *testing.B)  { benchmarkTable1Row(b, workload.FileIntensive2) }
+func BenchmarkTable1_GraphicsLow(b *testing.B)     { benchmarkTable1Row(b, workload.GraphicsLow) }
+func BenchmarkTable1_GraphicsMedium(b *testing.B)  { benchmarkTable1Row(b, workload.GraphicsMedium) }
+func BenchmarkTable1_GraphicsHigh(b *testing.B)    { benchmarkTable1Row(b, workload.GraphicsHigh) }
+func BenchmarkTable1_PMTaskingMedium(b *testing.B) { benchmarkTable1Row(b, workload.PMTaskingMedium) }
+func BenchmarkTable1_PMTaskingHigh(b *testing.B)   { benchmarkTable1Row(b, workload.PMTaskingHigh) }
+
+// ---------------------------------------------------------------------------
+// Table 2 — Trap versus RPC: instructions, cycles, bus cycles and CPI for
+// thread_self and a 32-byte RPC.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable2_TrapVsRPC(b *testing.B) {
+	var t bench.Table2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(t.TrapInstr, "trap-instr")
+	b.ReportMetric(t.RPCInstr, "rpc-instr")
+	b.ReportMetric(t.TrapCycles, "trap-cycles")
+	b.ReportMetric(t.RPCCycles, "rpc-cycles")
+	b.ReportMetric(t.TrapBus, "trap-bus")
+	b.ReportMetric(t.RPCBus, "rpc-bus")
+	b.ReportMetric(t.TrapCPI, "trap-cpi")
+	b.ReportMetric(t.RPCCPI, "rpc-cpi")
+}
+
+// ---------------------------------------------------------------------------
+// IPC rework sweep — the "two to ten times improvement in message-passing
+// performance ... depending primarily on the number of bytes transmitted".
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigureIPCSweep(b *testing.B) {
+	var pts []bench.IPCPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = bench.IPCSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Speedup, fmt.Sprintf("speedup@%dB", p.Size))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — architecture: the booted system regenerates its own layer
+// diagram; the benchmark measures a full multi-personality boot.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigure1_Boot(b *testing.B) {
+	var comps int
+	for i := 0; i < b.N; i++ {
+		s, err := core.Boot(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		comps = len(s.Inventory())
+	}
+	b.ReportMetric(float64(comps), "components")
+}
+
+// ---------------------------------------------------------------------------
+// E5 — name-service cost: X.500-style versus the Release 2 simplified
+// service.
+// ---------------------------------------------------------------------------
+
+func BenchmarkNameServiceFullVsSimple(b *testing.B) {
+	var r bench.NSResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.NameServices()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.FullCycles), "full-cycles")
+	b.ReportMetric(float64(r.SimpleCycles), "simple-cycles")
+	b.ReportMetric(r.Ratio, "ratio")
+}
+
+// ---------------------------------------------------------------------------
+// E6 — fine-grained objects versus MK++-style coarse objects on the
+// networking path.
+// ---------------------------------------------------------------------------
+
+func BenchmarkObjectsFineVsCoarse(b *testing.B) {
+	var r bench.ObjResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.Objects()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.FineCycles), "fine-cycles")
+	b.ReportMetric(float64(r.CoarseCycles), "coarse-cycles")
+	b.ReportMetric(r.Ratio, "ratio")
+	b.ReportMetric(float64(r.MetadataBytes), "metadata-bytes")
+}
+
+// ---------------------------------------------------------------------------
+// E7 — the two-memory-managers footprint blow-up.
+// ---------------------------------------------------------------------------
+
+func BenchmarkOS2MemoryFootprint(b *testing.B) {
+	var r bench.MemResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.MemFootprint()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Overhead, "resident/requested")
+	b.ReportMetric(float64(r.MetadataBytes), "os2-metadata-bytes")
+	b.ReportMetric(float64(r.MapEntries), "kernel-map-entries")
+}
+
+// ---------------------------------------------------------------------------
+// E9 — driver-model ablation: the same sector write through the three
+// driver architectures.
+// ---------------------------------------------------------------------------
+
+func BenchmarkDriverModels(b *testing.B) {
+	var rs []bench.DriverResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		rs, err = bench.DriverModels()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	slug := map[string]string{
+		"in-kernel BSD-style":        "kernel-cycles",
+		"OODDM fine-grained objects": "ooddm-cycles",
+		"user-level task":            "user-cycles",
+	}
+	for _, r := range rs {
+		b.ReportMetric(float64(r.Cycles), slug[r.Model])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10 — MVM: interpreted versus block-translated guest execution.
+// ---------------------------------------------------------------------------
+
+func BenchmarkMVMTranslator(b *testing.B) {
+	var r bench.MVMResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.MVMTranslator()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.InterpCycles), "interp-cycles")
+	b.ReportMetric(float64(r.ColdTransCycles), "translated-cold-cycles")
+	b.ReportMetric(float64(r.HotTransCycles), "translated-hot-cycles")
+	b.ReportMetric(r.Speedup, "speedup")
+}
+
+// ---------------------------------------------------------------------------
+// Correctness gates over the harness itself.
+// ---------------------------------------------------------------------------
+
+func TestTable2AgainstPaper(t *testing.T) {
+	got, err := bench.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, gc, gb, gcpi := got.Ratios()
+	pi, pc, pb, pcpi := bench.PaperTable2.Ratios()
+	t.Logf("measured: trap %.0f/%.0f/%.0f/%.2f  rpc %.0f/%.0f/%.0f/%.2f",
+		got.TrapInstr, got.TrapCycles, got.TrapBus, got.TrapCPI,
+		got.RPCInstr, got.RPCCycles, got.RPCBus, got.RPCCPI)
+	t.Logf("ratios: measured %.2f/%.2f/%.2f/%.2f vs paper %.2f/%.2f/%.2f/%.2f",
+		gi, gc, gb, gcpi, pi, pc, pb, pcpi)
+	within := func(name string, got, want, tol float64) {
+		if got < want/tol || got > want*tol {
+			t.Errorf("%s ratio %.2f vs paper %.2f beyond %.1fx tolerance", name, got, want, tol)
+		}
+	}
+	within("instructions", gi, pi, 1.4)
+	within("cycles", gc, pc, 1.6)
+	within("bus", gb, pb, 1.6)
+	within("cpi", gcpi, pcpi, 1.5)
+}
+
+func TestIPCSweepBand(t *testing.T) {
+	pts, err := bench.IPCSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("size %6dB: old=%d new=%d speedup=%.2f", p.Size, p.OldCycles, p.NewCycles, p.Speedup)
+		if p.Speedup < 1.5 {
+			t.Errorf("size %d: rework speedup %.2f below 1.5x", p.Size, p.Speedup)
+		}
+	}
+	if pts[0].Speedup < pts[len(pts)-1].Speedup {
+		// Small messages benefit most: the fixed path dominates.
+		t.Log("note: speedup grows with size in this run")
+	}
+}
+
+func TestNameServiceRatio(t *testing.T) {
+	r, err := bench.NameServices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full=%d simple=%d ratio=%.1f", r.FullCycles, r.SimpleCycles, r.Ratio)
+	if r.Ratio < 5 {
+		t.Errorf("X.500 service should be >=5x the simplified one, got %.1f", r.Ratio)
+	}
+}
+
+func TestObjectsRatio(t *testing.T) {
+	r, err := bench.Objects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fine=%d coarse=%d ratio=%.2f dispatches=%d metadata=%dB",
+		r.FineCycles, r.CoarseCycles, r.Ratio, r.FineDispatches, r.MetadataBytes)
+	if r.Ratio <= 1.1 {
+		t.Errorf("fine-grained objects should cost >1.1x coarse, got %.2f", r.Ratio)
+	}
+}
+
+func TestMemFootprintOverhead(t *testing.T) {
+	r, err := bench.MemFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("requested=%dB resident=%dB overhead=%.1fx metadata=%dB entries=%d",
+		r.RequestedBytes, r.ResidentBytes, r.Overhead, r.MetadataBytes, r.MapEntries)
+	if r.Overhead < 5 {
+		t.Errorf("footprint overhead %.1fx too small for eager byte-granular allocations", r.Overhead)
+	}
+}
+
+func TestDriverModelOrdering(t *testing.T) {
+	rs, err := bench.DriverModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string]uint64{}
+	for _, r := range rs {
+		byModel[r.Model] = r.Cycles
+		t.Logf("%-28s %d cycles/op", r.Model, r.Cycles)
+	}
+	if !(byModel["in-kernel BSD-style"] < byModel["OODDM fine-grained objects"] &&
+		byModel["OODDM fine-grained objects"] < byModel["user-level task"]) {
+		t.Errorf("expected kernel < ooddm < user ordering: %v", byModel)
+	}
+}
+
+func TestMVMTranslatorSpeedup(t *testing.T) {
+	r, err := bench.MVMTranslator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("interp=%d cold=%d hot=%d speedup=%.1fx (cache %d hits / %d misses)",
+		r.InterpCycles, r.ColdTransCycles, r.HotTransCycles, r.Speedup, r.CacheHits, r.CacheMisses)
+	if r.Speedup < 2 {
+		t.Errorf("hot translation speedup %.1fx below 2x", r.Speedup)
+	}
+}
+
+func TestFSPersonalityMatrix(t *testing.T) {
+	rs, err := bench.FSPersonality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		t.Logf("%-5s longnames=%v eas=%v case-sensitive=%v", r.FS, r.LongNameOK, r.EAOK, r.CaseSensitive)
+	}
+	want := map[string][3]bool{ // longname, ea, case-sensitive
+		"fat":  {false, false, false},
+		"hpfs": {true, true, false},
+		"jfs":  {true, true, true},
+	}
+	for _, r := range rs {
+		w := want[r.FS]
+		if r.LongNameOK != w[0] || r.EAOK != w[1] || r.CaseSensitive != w[2] {
+			t.Errorf("%s capabilities wrong: %+v", r.FS, r)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation from the simulated system and prints them side by side with
+// the published numbers.
+//
+// Usage:
+//
+//	benchtables            # everything
+//	benchtables -only 1    # Table 1 only
+//	benchtables -only 2    # Table 2 only
+//	benchtables -only ipc  # the IPC rework sweep
+//	benchtables -only fig1 # the architecture figure
+//	benchtables -only extras  # E5-E10 ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras (default all)")
+	flag.Parse()
+	run := func(name string) bool { return *only == "" || *only == name }
+	if run("fig1") {
+		figure1()
+	}
+	if run("1") {
+		table1()
+	}
+	if run("2") {
+		table2()
+	}
+	if run("ipc") {
+		ipcSweep()
+	}
+	if run("extras") {
+		extras()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}
+
+func figure1() {
+	s, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Figure 1: The IBM Microkernel and Workplace OS (as booted)")
+	fmt.Println()
+	fmt.Print(s.RenderFigure1())
+	fmt.Println()
+	fmt.Println("boot transcript:")
+	for _, l := range s.BootLog() {
+		fmt.Println("  *", l)
+	}
+	fmt.Println()
+}
+
+func table1() {
+	rows, err := bench.Table1()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Table 1: OS/2 Performance Comparisons")
+	fmt.Println("(WPOS OS/2 on 64 MB multi-server stack vs native OS/2 on 16 MB monolithic kernel)")
+	fmt.Println()
+	fmt.Printf("%-19s %-24s %12s %14s %8s %8s\n",
+		"Test", "Application Content", "WPOS cycles", "native cycles", "ratio", "paper")
+	for _, r := range rows {
+		fmt.Printf("%-19s %-24s %12d %14d %8.2f %8.2f\n",
+			r.Row, r.Content, r.WPOS, r.Native, r.Ratio, r.Paper)
+	}
+	m, p := bench.Overall(rows)
+	fmt.Printf("%-19s %-24s %12s %14s %8.2f %8.2f\n", "Overall", "", "", "", m, p)
+	fmt.Println()
+}
+
+func table2() {
+	t, err := bench.Table2()
+	if err != nil {
+		fail(err)
+	}
+	pp := bench.PaperTable2
+	gi, gc, gb, gcpi := t.Ratios()
+	pi, pc, pb, pcpi := pp.Ratios()
+	fmt.Println("Table 2: Trap Versus RPC (thread_self vs 32-byte RPC)")
+	fmt.Println()
+	fmt.Printf("%-13s %12s %12s %8s | %10s %10s %8s\n",
+		"", "thread_self", "32-byte RPC", "ratio", "paper trap", "paper RPC", "paper")
+	row := func(name string, a, b, ra, pa, pb2, pr float64, f string) {
+		fmt.Printf("%-13s %12s %12s %8.2f | %10s %10s %8.2f\n",
+			name, fmt.Sprintf(f, a), fmt.Sprintf(f, b), ra,
+			fmt.Sprintf(f, pa), fmt.Sprintf(f, pb2), pr)
+	}
+	row("Instructions", t.TrapInstr, t.RPCInstr, gi, pp.TrapInstr, pp.RPCInstr, pi, "%.0f")
+	row("Cycles", t.TrapCycles, t.RPCCycles, gc, pp.TrapCycles, pp.RPCCycles, pc, "%.0f")
+	row("Bus Cycles", t.TrapBus, t.RPCBus, gb, pp.TrapBus, pp.RPCBus, pb, "%.0f")
+	row("CPI", t.TrapCPI, t.RPCCPI, gcpi, pp.TrapCPI, pp.RPCCPI, pcpi, "%.2f")
+	fmt.Println()
+	fmt.Println(bench.TrapVsRPCNote(t))
+	fmt.Println()
+}
+
+func ipcSweep() {
+	pts, err := bench.IPCSweep()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("IPC rework: classic mach_msg vs reworked RPC round trip")
+	fmt.Println("(the paper reports a 2x-10x improvement depending on bytes transmitted)")
+	fmt.Println()
+	fmt.Printf("%10s %14s %14s %10s\n", "bytes", "old (cycles)", "new (cycles)", "speedup")
+	for _, p := range pts {
+		fmt.Printf("%10d %14d %14d %9.2fx\n", p.Size, p.OldCycles, p.NewCycles, p.Speedup)
+	}
+	fmt.Println()
+}
+
+func extras() {
+	fmt.Println("Supporting experiments (claims argued in the evaluation text)")
+	fmt.Println()
+
+	ns, err := bench.NameServices()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("E5  name service:       X.500-style %d cycles/lookup vs simplified %d  (%.1fx)\n",
+		ns.FullCycles, ns.SimpleCycles, ns.Ratio)
+
+	obj, err := bench.Objects()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("E6  object systems:     fine-grained %d cycles/datagram vs MK++-style %d  (%.2fx, %d B class metadata)\n",
+		obj.FineCycles, obj.CoarseCycles, obj.Ratio, obj.MetadataBytes)
+
+	mem, err := bench.MemFootprint()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("E7  two memory managers: %d allocations, %d B requested -> %d B resident (%.1fx) + %d B OS/2 metadata over %d kernel map entries\n",
+		mem.Allocations, mem.RequestedBytes, mem.ResidentBytes, mem.Overhead, mem.MetadataBytes, mem.MapEntries)
+
+	fss, err := bench.FSPersonality()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("E8  semantic union:     ")
+	for _, r := range fss {
+		fmt.Printf("[%s longnames=%v eas=%v casesens=%v] ", r.FS, r.LongNameOK, r.EAOK, r.CaseSensitive)
+	}
+	fmt.Println()
+
+	drv, err := bench.DriverModels()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("E9  driver models:      ")
+	for _, r := range drv {
+		fmt.Printf("[%s %d cycles/op] ", r.Model, r.Cycles)
+	}
+	fmt.Println()
+
+	tr, err := bench.MVMTranslator()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("E10 MVM translator:     interpreted %d cycles vs translated %d (cold %d); hot speedup %.1fx\n",
+		tr.InterpCycles, tr.HotTransCycles, tr.ColdTransCycles, tr.Speedup)
+	fmt.Println()
+}

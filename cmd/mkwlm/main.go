@@ -1,0 +1,133 @@
+// Command mkwlm builds and inspects WLM load modules, the image format of
+// the Microkernel Services loader.
+//
+// Usage:
+//
+//	mkwlm build -o app.wlm -name app -kind program -entry 16 \
+//	      -text 4096 -data 512 -bss 8192 -export main:0 -import libc:printf
+//	mkwlm show app.wlm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/loader"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "show":
+		show(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mkwlm build|show ...")
+	os.Exit(2)
+}
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "out.wlm", "output file")
+	name := fs.String("name", "module", "module name")
+	kind := fs.String("kind", "program", "program or library")
+	entry := fs.Uint("entry", 0, "entry offset in text")
+	text := fs.Uint("text", 256, "text size in bytes")
+	data := fs.Uint("data", 0, "data size in bytes")
+	bss := fs.Uint("bss", 0, "bss size in bytes")
+	var exports, imports listFlag
+	fs.Var(&exports, "export", "export as name:offset (repeatable)")
+	fs.Var(&imports, "import", "import as library:symbol (repeatable)")
+	fs.Parse(args)
+
+	img := &loader.Image{
+		Name:    *name,
+		Entry:   uint32(*entry),
+		Text:    make([]byte, *text),
+		Data:    make([]byte, *data),
+		BSSSize: uint32(*bss),
+	}
+	for i := range img.Text {
+		img.Text[i] = 0x90
+	}
+	switch *kind {
+	case "program":
+		img.Kind = loader.KindProgram
+	case "library":
+		img.Kind = loader.KindLibrary
+	default:
+		fmt.Fprintln(os.Stderr, "mkwlm: kind must be program or library")
+		os.Exit(2)
+	}
+	for _, e := range exports {
+		parts := strings.SplitN(e, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "mkwlm: bad export", e)
+			os.Exit(2)
+		}
+		off, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkwlm: bad export offset:", err)
+			os.Exit(2)
+		}
+		img.Exports = append(img.Exports, loader.Symbol{Name: parts[0], Offset: uint32(off)})
+	}
+	for _, im := range imports {
+		parts := strings.SplitN(im, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "mkwlm: bad import", im)
+			os.Exit(2)
+		}
+		img.Imports = append(img.Imports, loader.Import{Library: parts[0], Symbol: parts[1]})
+	}
+	if err := os.WriteFile(*out, loader.Encode(img), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mkwlm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, img)
+}
+
+func show(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkwlm:", err)
+		os.Exit(1)
+	}
+	img, err := loader.Decode(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkwlm:", err)
+		os.Exit(1)
+	}
+	fmt.Println(img)
+	if len(img.Exports) > 0 {
+		fmt.Println("exports:")
+		for _, s := range img.Exports {
+			fmt.Printf("  %s @ +%d\n", s.Name, s.Offset)
+		}
+	}
+	if len(img.Imports) > 0 {
+		fmt.Println("imports:")
+		for _, im := range img.Imports {
+			fmt.Printf("  %s from %s\n", im.Symbol, im.Library)
+		}
+	}
+}

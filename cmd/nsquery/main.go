@@ -1,0 +1,94 @@
+// Command nsquery boots Workplace OS and explores its name space: the
+// single rooted tree the personality-neutral servers bind into, with
+// X.500-style attributes and search.
+//
+// Usage:
+//
+//	nsquery                      # list the tree
+//	nsquery -search class=personality
+//	nsquery -lookup /servers/files
+//	nsquery -bench               # full vs simplified lookup cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	search := flag.String("search", "", "attribute search as key=value")
+	lookup := flag.String("lookup", "", "resolve one path")
+	doBench := flag.Bool("bench", false, "compare full and simplified lookup cost")
+	flag.Parse()
+
+	if *doBench {
+		r, err := bench.NameServices()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("X.500-style: %d cycles/lookup\nsimplified:  %d cycles/lookup\nratio:       %.1fx\n",
+			r.FullCycles, r.SimpleCycles, r.Ratio)
+		return
+	}
+
+	s, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *lookup != "":
+		b, err := s.Names.Lookup(*lookup)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s ->", *lookup)
+		if b.Task != nil {
+			fmt.Printf(" %s", b.Task)
+		}
+		for _, a := range b.Attrs {
+			fmt.Printf(" %s=%s", a.Key, a.Value)
+		}
+		fmt.Println()
+	case *search != "":
+		kv := strings.SplitN(*search, "=", 2)
+		value := ""
+		if len(kv) == 2 {
+			value = kv[1]
+		}
+		hits, err := s.Names.Search("/", kv[0], value)
+		if err != nil {
+			fail(err)
+		}
+		for _, h := range hits {
+			fmt.Println(h)
+		}
+	default:
+		var walk func(path string, depth int)
+		walk = func(path string, depth int) {
+			kids, err := s.Names.List(path)
+			if err != nil {
+				return
+			}
+			for _, k := range kids {
+				child := path + "/" + k
+				if path == "/" {
+					child = "/" + k
+				}
+				fmt.Printf("%s%s\n", strings.Repeat("  ", depth), k)
+				walk(child, depth+1)
+			}
+		}
+		fmt.Println("/")
+		walk("/", 1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nsquery:", err)
+	os.Exit(1)
+}

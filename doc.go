@@ -1,0 +1,17 @@
+// Package repro is a reproduction, in Go, of the system described in
+// "Experience with the Development of a Microkernel-Based, Multiserver
+// Operating System" (Freeman L. Rawson III, HotOS 1997): IBM's Workplace
+// OS on the IBM Microkernel, a heavily modified Mach 3.0.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory); the public entry points are:
+//
+//   - internal/core.Boot — boot a complete Workplace OS (microkernel,
+//     microkernel services, shared services, personalities);
+//   - internal/core.BootNative — boot the monolithic "native OS/2"
+//     baseline used by the paper's Table 1;
+//   - internal/bench — regenerate every table and figure.
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's
+// evaluation; EXPERIMENTS.md records paper-versus-measured results.
+package repro

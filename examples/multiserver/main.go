@@ -1,0 +1,123 @@
+// multiserver: the headline claim — multiple operating system
+// personalities running concurrently over shared personality-neutral
+// servers.  An OS/2 process, a POSIX pipeline and a DOS guest all
+// manipulate the same file through the one file server, while the
+// networking shared service carries datagrams between two stacks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mvm"
+	"repro/internal/netsvc"
+)
+
+func main() {
+	sys, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- OS/2 creates the shared file -----------------------------------
+	op, err := sys.OS2.CreateProcess("editor.exe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, e := op.DosOpen("/JOURNAL.LOG", true, true)
+	if e != 0 {
+		log.Fatalf("os2 open: %v", e)
+	}
+	op.DosWrite(h, []byte("os2|"))
+	op.DosClose(h)
+	fmt.Println("os/2:  created /JOURNAL.LOG")
+
+	// --- POSIX forks a child and pipes the file's contents through ------
+	parent, err := sys.POSIX.Spawn("sh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, w, pe := parent.Pipe()
+	if pe != 0 {
+		log.Fatalf("pipe: %v", pe)
+	}
+	child, pe := parent.Fork("cat")
+	if pe != 0 {
+		log.Fatalf("fork: %v", pe)
+	}
+	go func() {
+		fd, _ := child.Open("/journal.log", 0) // case-folded on FAT
+		buf := make([]byte, 32)
+		n, _ := child.Read(fd, buf)
+		child.Write(w, buf[:n])
+		child.Write(w, []byte("posix|"))
+		child.Close(fd)
+		child.Close(w)
+		parent.Close(w)
+	}()
+	buf := make([]byte, 64)
+	var got []byte
+	for {
+		n, e := parent.Read(r, buf)
+		if e != 0 || n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	fmt.Printf("posix: child piped %q to parent\n", got)
+
+	// --- A DOS guest appends through MVM's virtual device drivers -------
+	v, err := sys.MVM.NewVM("append.com", mvm.Translate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := mvm.NewAsm()
+	a.MovImm(mvm.AX, 0x3D00).MovImm(mvm.DX, 0x100).Int(0x21) // open
+	a.MovReg(mvm.BX, mvm.AX)
+	a.MovImm(mvm.AX, 0x4000).MovImm(mvm.CX, 4).MovImm(mvm.DX, 0x200).Int(0x21) // write
+	a.MovImm(mvm.AX, 0x3E00).Int(0x21)                                         // close
+	a.Hlt()
+	prog, err := a.Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v.Load(prog)
+	copy(v.Mem[0x100:], []byte("JOURNAL.LOG\x00"))
+	copy(v.Mem[0x200:], []byte("dos|"))
+	if err := v.Run(100000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mvm:   guest appended through INT 21h")
+
+	// --- everyone sees the union ----------------------------------------
+	attr, e := op.DosQueryPathInfo("/JOURNAL.LOG")
+	if e != 0 {
+		log.Fatalf("stat: %v", e)
+	}
+	h, _ = op.DosOpen("/JOURNAL.LOG", false, false)
+	final := make([]byte, attr.Size)
+	op.DosRead(h, final)
+	op.DosClose(h)
+	fmt.Printf("final /JOURNAL.LOG (%d bytes): %q\n", attr.Size, final)
+
+	// --- the networking shared service ----------------------------------
+	peer, err := netsvc.NewStack(sys.Kernel.CPU, sys.Kernel.Layout(), sys.NICs[1], "peer", netsvc.Coarse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, err := sys.Net.Bind(1700)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := peer.Bind(1700); err != nil {
+		log.Fatal(err)
+	}
+	if err := local.SendTo("peer", 1700, final); err != nil {
+		log.Fatal(err)
+	}
+	peer.Pump()
+	fmt.Println("net:   journal datagram delivered to the peer stack")
+
+	fmt.Printf("\ntasks running at the end: %d\n", len(sys.Kernel.Tasks()))
+}

@@ -1,0 +1,102 @@
+// mvmdos: the MVM personality in depth — several concurrent DOS guests,
+// the block translator against the interpreter on the same program, and
+// the translation cache statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mvm"
+)
+
+// fib computes fib(20) iteratively into AX and prints a '*' per loop.
+func fib() []byte {
+	a := mvm.NewAsm()
+	a.MovImm(mvm.AX, 1) // fib(n)
+	a.MovImm(mvm.BX, 0) // fib(n-1)
+	a.MovImm(mvm.CX, 19)
+	a.Label("loop")
+	a.MovReg(mvm.DX, mvm.AX)
+	a.Add(mvm.AX, mvm.BX)
+	a.MovReg(mvm.BX, mvm.DX)
+	a.Dec(mvm.CX)
+	a.CmpImm(mvm.CX, 0)
+	a.Jnz("loop")
+	a.Store(0x9000, mvm.AX)
+	a.Hlt()
+	prog, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func main() {
+	sys, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the same binary interpreted and translated.
+	prog := fib()
+	modes := []struct {
+		name string
+		mode mvm.ExecMode
+	}{{"interpreted", mvm.Interpret}, {"translated", mvm.Translate}}
+	for _, m := range modes {
+		v, err := sys.MVM.NewVM("fib.com", m.mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v.Load(prog)
+		before := sys.Kernel.CPU.Counters()
+		if err := v.Run(1 << 20); err != nil {
+			log.Fatal(err)
+		}
+		cycles := sys.Kernel.CPU.Counters().Sub(before).Cycles
+		result := uint16(v.Mem[0x9000]) | uint16(v.Mem[0x9001])<<8
+		fmt.Printf("%-12s fib(20)=%d in %d guest instructions, %d simulated cycles\n",
+			m.name, result, v.GuestInstrs, cycles)
+		if m.mode == mvm.Translate {
+			hits, misses, translated := v.TranslatorStats()
+			fmt.Printf("%-12s translation cache: %d hits, %d misses, %d guest instructions translated\n",
+				"", hits, misses, translated)
+			// Run it again hot: the cache is warm, no retranslation.
+			v.Load(prog)
+			before = sys.Kernel.CPU.Counters()
+			v.Run(1 << 20)
+			fmt.Printf("%-12s second (hot) run: %d simulated cycles\n",
+				"", sys.Kernel.CPU.Counters().Sub(before).Cycles)
+		}
+	}
+
+	// Multiple concurrent environments, each in its own microkernel task.
+	fmt.Println()
+	var vms []*mvm.VM
+	for i := 0; i < 3; i++ {
+		v, err := sys.MVM.NewVM(fmt.Sprintf("box%d.com", i), mvm.Translate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := mvm.NewAsm()
+		for _, ch := range fmt.Sprintf("[vm%d]", i) {
+			a.MovImm(mvm.AX, 0x0200)
+			a.MovImm(mvm.DX, uint16(ch))
+			a.Int(0x21)
+		}
+		a.MovImm(mvm.AX, 0x4C00).Int(0x21)
+		p, _ := a.Assemble()
+		v.Load(p)
+		vms = append(vms, v)
+	}
+	for _, v := range vms {
+		if err := v.Run(100000); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("console after three guests: %q\n", sys.Console.Contents())
+	fmt.Printf("guests live: %d; traps reflected to user level so far: %d+%d+%d\n",
+		sys.MVM.Guests(), vms[0].Traps, vms[1].Traps, vms[2].Traps)
+}

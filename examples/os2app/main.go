@@ -1,0 +1,95 @@
+// os2app: a fuller OS/2 personality application — commitment memory,
+// named shared memory at coerced addresses, PM messages between two
+// processes, and the footprint report that motivates the paper's
+// "two memory management systems" complaint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/os2"
+)
+
+func main() {
+	sys, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := sys.OS2.CreateProcess("works.exe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	helper, err := sys.OS2.CreateProcess("helper.exe")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Commitment-oriented, byte-granular allocations — eagerly
+	// committed, defeating the microkernel's lazy zero-fill.
+	for i := 0; i < 20; i++ {
+		if _, e := app.DosAllocMem(100+uint64(i)*37, true); e != os2.NoError {
+			log.Fatalf("DosAllocMem: %v", e)
+		}
+	}
+	rep := app.Mem.Footprint()
+	fmt.Printf("heap: requested %d bytes -> resident %d bytes (%.1fx), %d bytes OS/2 metadata over %d kernel map entries\n",
+		rep.RequestedBytes, rep.ResidentBytes, rep.Overhead(), rep.MetadataBytes, rep.MapEntries)
+
+	// Named shared memory appears at the SAME address in both
+	// processes — the coerced-memory guarantee OS/2 code depends on.
+	a1, e := app.DosAllocSharedMem("\\SHAREMEM\\BOARD", 16384)
+	if e != os2.NoError {
+		log.Fatalf("DosAllocSharedMem: %v", e)
+	}
+	a2, e := helper.DosGetNamedSharedMem("\\SHAREMEM\\BOARD")
+	if e != os2.NoError {
+		log.Fatalf("DosGetNamedSharedMem: %v", e)
+	}
+	fmt.Printf("shared memory: %#x in works.exe, %#x in helper.exe (identical: %v)\n", a1, a2, a1 == a2)
+	app.WriteMem(a1, []byte("move 42"))
+	b, _ := helper.ReadMem(a2, 7)
+	fmt.Printf("helper read %q through the shared segment\n", b)
+
+	// PM message ping-pong through the personality server.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			m, e := helper.WinGetMsg(true)
+			if e != os2.NoError {
+				log.Fatalf("WinGetMsg: %v", e)
+			}
+			helper.WinPostMsg(app.PID(), m.Msg+1, m.Arg)
+		}
+		close(done)
+	}()
+	for i := 0; i < 3; i++ {
+		if e := app.WinPostMsg(helper.PID(), 0x0400, uint32(i)); e != os2.NoError {
+			log.Fatalf("WinPostMsg: %v", e)
+		}
+		m, e := app.WinGetMsg(true)
+		if e != os2.NoError {
+			log.Fatalf("WinGetMsg: %v", e)
+		}
+		fmt.Printf("pm round trip %d: reply msg=%#x arg=%d\n", i, m.Msg, m.Arg)
+	}
+	<-done
+
+	// Files with OS/2 semantics over the FAT boot volume: 8.3 works,
+	// long names do not — the format limits the logical layer.
+	if h, e := app.DosOpen("/BUDGET.WK4", true, true); e == os2.NoError {
+		app.DosWrite(h, []byte("Q1,Q2,Q3,Q4"))
+		app.DosClose(h)
+		fmt.Println("created /BUDGET.WK4 (8.3 name on FAT)")
+	}
+	if _, e := app.DosOpen("/Quarterly Budget 1996.worksheet", true, true); e != os2.NoError {
+		fmt.Printf("long name on FAT rejected as expected: %v\n", e)
+	}
+	comp := sys.Files.Disp.Compromises()
+	fmt.Printf("semantic compromises recorded by the file server: %d\n", len(comp))
+	for _, c := range comp {
+		fmt.Printf("  [%s on %s] %s %q: %s\n", c.Profile, c.FS, c.Op, c.Name, c.Detail)
+	}
+}

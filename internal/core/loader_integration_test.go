@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/loader"
+	"repro/internal/vm"
+)
+
+// TestLoaderIntegration exercises the Microkernel Services loader against
+// a booted system: a coerced shared library visible at one address in
+// every space, a program linked against it, and the seal that closes the
+// loader once personalities start.
+func TestLoaderIntegration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Personalities = nil // keep the loader unsealed
+	s, err := Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Loader.Sealed() {
+		t.Fatal("loader sealed with no personalities")
+	}
+
+	// A coerced runtime library, loaded machine-wide.
+	libc := &loader.Image{
+		Name: "libpn", Kind: loader.KindLibrary,
+		Text:    bytes.Repeat([]byte{0x60}, 512), // PN runtime text
+		Exports: []loader.Symbol{{Name: "pn_printf", Offset: 64}},
+	}
+	ld, err := s.Loader.LoadCoercedLibrary(libc)
+	if err != nil {
+		t.Fatalf("LoadCoercedLibrary: %v", err)
+	}
+	if ld.TextBase < vm.CoercedArenaBase || ld.TextBase >= vm.CoercedArenaTop {
+		t.Fatalf("coerced library outside the arena: %#x", ld.TextBase)
+	}
+
+	// Two tasks, two address spaces, one library address.
+	mkSpace := func(name string) *vm.Map {
+		task := s.Kernel.NewTask(name)
+		m := s.VM.NewMap(task.ASID())
+		task.AS = m
+		if err := s.Loader.AttachCoercedLibraries(m); err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		return m
+	}
+	m1 := mkSpace("boot1")
+	m2 := mkSpace("boot2")
+	b1, err1 := m1.Read(ld.TextBase, 8)
+	b2, err2 := m2.Read(ld.TextBase, 8)
+	if err1 != nil || err2 != nil || !bytes.Equal(b1, b2) || b1[0] != 0x60 {
+		t.Fatalf("library text differs across spaces: %v %v %v %v", b1, err1, b2, err2)
+	}
+
+	// A program importing from the coerced library resolves to the
+	// arena address.
+	prog := &loader.Image{
+		Name: "init.wlm", Kind: loader.KindProgram, Entry: 0,
+		Text:    bytes.Repeat([]byte{0xCC}, 128),
+		Imports: []loader.Import{{Library: "libpn", Symbol: "pn_printf"}},
+	}
+	pl, err := s.Loader.LoadProgram(m1, prog)
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	addr := pl.Bindings[loader.Import{Library: "libpn", Symbol: "pn_printf"}]
+	if addr != ld.TextBase+64 {
+		t.Fatalf("import bound to %#x, want %#x", addr, ld.TextBase+64)
+	}
+
+	// Sealing (what personality initialization does) stops program loads.
+	s.Loader.Seal()
+	if _, err := s.Loader.LoadProgram(m2, prog); !errors.Is(err, loader.ErrSealed) {
+		t.Fatalf("post-seal load err = %v", err)
+	}
+}
+
+// TestRegistryIntegration: the registry shared service reached from an
+// OS/2 process's task, persisting through the HPFS volume.
+func TestRegistryIntegration(t *testing.T) {
+	s := bootDefault(t)
+	p, err := s.OS2.CreateProcess("settings.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Registry.NewClient(p.Thread())
+	if err != nil {
+		t.Fatalf("registry client: %v", err)
+	}
+	if err := c.Set("PM_SystemFonts", "DefaultFont", "10.System Proportional"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// The profile is a real file on the HPFS volume, visible through
+	// the file server.
+	a, e := p.DosQueryPathInfo("/hpfs/OS2SYS.INI")
+	if e != 0 || a.Size == 0 {
+		t.Fatalf("profile file: %+v %v", a, e)
+	}
+	if _, err := s.Names.Lookup("/servers/registry"); err != nil {
+		t.Fatalf("registry not in name tree: %v", err)
+	}
+}

@@ -1,0 +1,469 @@
+// Package cpu implements a deterministic cost model of a mid-1990s
+// microprocessor: instruction accounting, set-associative instruction and
+// data caches, a TLB flushed on address-space switch, and bus-cycle
+// accounting for cache line fills.
+//
+// The model is the measurement substrate for the whole reproduction.  The
+// paper's Table 2 compares a kernel trap against a 32-byte RPC using the
+// Pentium performance counters (instructions, cycles, bus cycles, CPI) and
+// attributes the RPC's poor CPI to I-cache misses.  Code paths in the
+// simulated system are declared as Regions (a name, an address, a size and
+// an instruction count); executing a region touches its cache lines, so a
+// path whose combined footprint exceeds the I-cache misses on every
+// traversal exactly as the paper describes.
+package cpu
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config describes the modeled processor.
+type Config struct {
+	ICache CacheConfig
+	DCache CacheConfig
+	// BaseCPI is the cycles charged per instruction when every memory
+	// access hits.  Expressed in hundredths of a cycle to keep the model
+	// integral and deterministic (150 = 1.50 cycles/instruction).
+	BaseCPI100 uint64
+	// MissLatency is the cycles added per cache miss (line fill latency).
+	MissLatency uint64
+	// BusPerLine is the bus cycles consumed per cache line fill.
+	BusPerLine uint64
+	// TLBEntries is the number of TLB slots; the TLB is flushed on
+	// address-space switch.
+	TLBEntries int
+	// TLBMissCycles is the page-walk cost per TLB miss.
+	TLBMissCycles uint64
+	// TLBMissBus is the bus cycles per TLB fill (page-table reads).
+	TLBMissBus uint64
+	// SwitchCycles is the fixed pipeline/privilege cost of an address
+	// space switch (CR3 reload and serialization), beyond TLB refill.
+	SwitchCycles uint64
+	// PageSize in bytes; used by the TLB.
+	PageSize uint64
+}
+
+// CacheConfig describes one cache.
+type CacheConfig struct {
+	Sets     int // number of sets
+	Ways     int // associativity
+	LineSize uint64
+}
+
+// SizeBytes returns the total capacity of the cache.
+func (c CacheConfig) SizeBytes() uint64 {
+	return uint64(c.Sets) * uint64(c.Ways) * c.LineSize
+}
+
+// Pentium133 returns a configuration modeled on the machine in the paper's
+// Table 2: a 133 MHz Pentium with split 8 KiB 2-way caches, 32-byte lines
+// and a 64-entry TLB.
+func Pentium133() Config {
+	return Config{
+		ICache:        CacheConfig{Sets: 128, Ways: 2, LineSize: 32},
+		DCache:        CacheConfig{Sets: 128, Ways: 2, LineSize: 32},
+		BaseCPI100:    130,
+		MissLatency:   14,
+		BusPerLine:    6,
+		TLBEntries:    64,
+		TLBMissCycles: 20,
+		TLBMissBus:    2,
+		SwitchCycles:  120,
+		PageSize:      4096,
+	}
+}
+
+// Counters is the set of performance counters exposed by the model; these
+// mirror the columns of the paper's Table 2.
+type Counters struct {
+	Instructions uint64
+	Cycles       uint64
+	BusCycles    uint64
+	ICacheMisses uint64
+	DCacheMisses uint64
+	TLBMisses    uint64
+	Switches     uint64 // address-space switches
+	cpiFrac      uint64 // accumulated hundredths of base cycles
+}
+
+// CPI returns cycles per instruction, the paper's fourth counter row.
+func (c Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// Sub returns the counter deltas accumulated since the snapshot prev.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Instructions: c.Instructions - prev.Instructions,
+		Cycles:       c.Cycles - prev.Cycles,
+		BusCycles:    c.BusCycles - prev.BusCycles,
+		ICacheMisses: c.ICacheMisses - prev.ICacheMisses,
+		DCacheMisses: c.DCacheMisses - prev.DCacheMisses,
+		TLBMisses:    c.TLBMisses - prev.TLBMisses,
+		Switches:     c.Switches - prev.Switches,
+	}
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("instr=%d cycles=%d bus=%d cpi=%.2f i$miss=%d d$miss=%d tlb=%d",
+		c.Instructions, c.Cycles, c.BusCycles, c.CPI(), c.ICacheMisses, c.DCacheMisses, c.TLBMisses)
+}
+
+// Region is a contiguous code path: executing it runs Instr instructions
+// whose text occupies [Base, Base+Size).  Regions are laid out by a Layout
+// so distinct kernel paths, stubs and server loops genuinely compete for
+// cache sets.
+type Region struct {
+	Name  string
+	Base  uint64
+	Size  uint64
+	Instr uint64
+}
+
+// Layout assigns non-overlapping addresses to code regions, mimicking a
+// linker laying out kernel text, library stubs and server text.
+type Layout struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewLayout creates a layout allocating upward from base.
+func NewLayout(base uint64) *Layout {
+	return &Layout{next: base}
+}
+
+// Place allocates a region of the given byte size with an instruction count
+// derived from the size (4 bytes per instruction), aligned to 32 bytes.
+func (l *Layout) Place(name string, size uint64) Region {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base := (l.next + 31) &^ 31
+	l.next = base + size
+	return Region{Name: name, Base: base, Size: size, Instr: size / 4}
+}
+
+// PlaceInstr allocates a region sized for n instructions (4 bytes each).
+func (l *Layout) PlaceInstr(name string, n uint64) Region {
+	r := l.Place(name, n*4)
+	r.Instr = n
+	return r
+}
+
+// cache is one set-associative cache with true-LRU replacement.  Tags are
+// full addresses; the simulated system uses a single physical address
+// space, so competing regions conflict exactly as physical caches do.
+type cache struct {
+	cfg  CacheConfig
+	tags [][]uint64 // [set][way]; 0 = invalid
+	age  [][]uint64 // [set][way] last-use stamps
+	tick uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	c := &cache{cfg: cfg}
+	c.tags = make([][]uint64, cfg.Sets)
+	c.age = make([][]uint64, cfg.Sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.age[i] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+// access touches the line containing addr; it reports whether it hit.
+func (c *cache) access(addr uint64) bool {
+	line := addr / c.cfg.LineSize
+	set := int(line % uint64(c.cfg.Sets))
+	tag := line + 1 // +1 so a valid tag is never 0
+	c.tick++
+	ways := c.tags[set]
+	for w, t := range ways {
+		if t == tag {
+			c.age[set][w] = c.tick
+			return true
+		}
+	}
+	// Miss: fill the LRU way.
+	victim := 0
+	for w := 1; w < len(ways); w++ {
+		if c.age[set][w] < c.age[set][victim] {
+			victim = w
+		}
+	}
+	ways[victim] = tag
+	c.age[set][victim] = c.tick
+	return false
+}
+
+func (c *cache) flush() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = 0
+			c.age[s][w] = 0
+		}
+	}
+}
+
+// tlb is a fully-associative LRU TLB over pages.
+type tlb struct {
+	entries  int
+	pageSize uint64
+	pages    map[uint64]uint64 // page -> stamp
+	tick     uint64
+}
+
+func newTLB(entries int, pageSize uint64) *tlb {
+	return &tlb{entries: entries, pageSize: pageSize, pages: make(map[uint64]uint64, entries)}
+}
+
+func (t *tlb) access(addr uint64) bool {
+	page := addr / t.pageSize
+	t.tick++
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.tick
+		return true
+	}
+	if len(t.pages) >= t.entries {
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for p, stamp := range t.pages {
+			if stamp < oldest {
+				oldest = stamp
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.tick
+	return false
+}
+
+func (t *tlb) flush() {
+	for p := range t.pages {
+		delete(t.pages, p)
+	}
+}
+
+// Engine is one simulated processor.  All methods are safe for concurrent
+// use; callers across the simulated system charge their costs here.
+type Engine struct {
+	mu     sync.Mutex
+	cfg    Config
+	icache *cache
+	dcache *cache
+	tlb    *tlb
+	ctr    Counters
+	asid   uint64
+}
+
+// NewEngine creates a processor with cold caches.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:    cfg,
+		icache: newCache(cfg.ICache),
+		dcache: newCache(cfg.DCache),
+		tlb:    newTLB(cfg.TLBEntries, cfg.PageSize),
+	}
+}
+
+// Config returns the processor configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Counters returns a snapshot of the performance counters.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctr
+}
+
+// Reset zeroes the counters without disturbing cache state, like resetting
+// hardware performance counters between measurement runs.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctr = Counters{}
+}
+
+// ColdStart flushes caches and the TLB and zeroes counters.
+func (e *Engine) ColdStart() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.icache.flush()
+	e.dcache.flush()
+	e.tlb.flush()
+	e.ctr = Counters{}
+}
+
+// chargeInstr adds n instructions of base pipeline cost.
+func (e *Engine) chargeInstr(n uint64) {
+	e.ctr.Instructions += n
+	e.ctr.cpiFrac += n * e.cfg.BaseCPI100
+	whole := e.ctr.cpiFrac / 100
+	e.ctr.cpiFrac %= 100
+	e.ctr.Cycles += whole
+}
+
+func (e *Engine) chargeIMiss() {
+	e.ctr.ICacheMisses++
+	e.ctr.Cycles += e.cfg.MissLatency
+	e.ctr.BusCycles += e.cfg.BusPerLine
+}
+
+func (e *Engine) chargeDMiss() {
+	e.ctr.DCacheMisses++
+	e.ctr.Cycles += e.cfg.MissLatency
+	e.ctr.BusCycles += e.cfg.BusPerLine
+}
+
+func (e *Engine) chargeTLB(addr uint64) {
+	if !e.tlb.access(addr) {
+		e.ctr.TLBMisses++
+		e.ctr.Cycles += e.cfg.TLBMissCycles
+		e.ctr.BusCycles += e.cfg.TLBMissBus
+	}
+}
+
+// Exec runs one traversal of a code region: its instructions retire at the
+// base CPI and every line of its text is fetched through the I-cache.
+func (e *Engine) Exec(r Region) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.execLocked(r)
+}
+
+// ExecN runs a region n times back to back.
+func (e *Engine) ExecN(r Region, n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := 0; i < n; i++ {
+		e.execLocked(r)
+	}
+}
+
+func (e *Engine) execLocked(r Region) {
+	e.chargeInstr(r.Instr)
+	end := r.Base + r.Size
+	for addr := r.Base &^ (e.cfg.ICache.LineSize - 1); addr < end; addr += e.cfg.ICache.LineSize {
+		e.chargeTLB(addr)
+		if !e.icache.access(addr) {
+			e.chargeIMiss()
+		}
+	}
+}
+
+// ExecPartial runs a fraction (num/den) of a region: the instructions and
+// footprint scale together.  Used for paths with data-dependent length.
+func (e *Engine) ExecPartial(r Region, num, den uint64) {
+	if den == 0 || num == 0 {
+		return
+	}
+	part := r
+	part.Size = r.Size * num / den
+	part.Instr = r.Instr * num / den
+	if part.Instr == 0 {
+		part.Instr = 1
+	}
+	e.Exec(part)
+}
+
+// Read models a data read of size bytes at addr through the D-cache.
+func (e *Engine) Read(addr, size uint64) {
+	e.accessData(addr, size)
+}
+
+// Write models a data write of size bytes at addr through the D-cache
+// (write-allocate, so the cost model matches Read).
+func (e *Engine) Write(addr, size uint64) {
+	e.accessData(addr, size)
+}
+
+func (e *Engine) accessData(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	end := addr + size
+	for a := addr &^ (e.cfg.DCache.LineSize - 1); a < end; a += e.cfg.DCache.LineSize {
+		e.chargeTLB(a)
+		if !e.dcache.access(a) {
+			e.chargeDMiss()
+		}
+	}
+}
+
+// Copy models a physical memory copy of n bytes from src to dst: a tight
+// copy loop (about one instruction per 4 bytes plus setup) plus D-cache
+// traffic on both the source and destination.  This is the "replaced
+// virtual with physical copy" path of the reworked RPC.
+func (e *Engine) Copy(src, dst, n uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chargeInstr(8 + n/4)
+	line := e.cfg.DCache.LineSize
+	for a := src &^ (line - 1); a < src+n; a += line {
+		e.chargeTLB(a)
+		if !e.dcache.access(a) {
+			e.chargeDMiss()
+		}
+	}
+	for a := dst &^ (line - 1); a < dst+n; a += line {
+		e.chargeTLB(a)
+		if !e.dcache.access(a) {
+			e.chargeDMiss()
+		}
+	}
+}
+
+// SwitchAddressSpace models loading a new address-space root: a fixed
+// serialization cost plus a full TLB flush, whose refills are then paid by
+// subsequent accesses.  Switching to the current space is free (the paper's
+// RPC path always switches: client -> server -> client).
+func (e *Engine) SwitchAddressSpace(asid uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if asid == e.asid {
+		return
+	}
+	e.asid = asid
+	e.ctr.Switches++
+	e.ctr.Cycles += e.cfg.SwitchCycles
+	e.tlb.flush()
+}
+
+// ASID returns the currently loaded address-space identifier.
+func (e *Engine) ASID() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.asid
+}
+
+// Stall charges raw cycles with no instructions, modeling interrupt
+// latency, DMA wait or device service time.
+func (e *Engine) Stall(cycles uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctr.Cycles += cycles
+}
+
+// Instr charges n instructions with no specific code footprint (for
+// straight-line computation inside an already-resident region).
+func (e *Engine) Instr(n uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chargeInstr(n)
+}
+
+// Overhead charges raw cycles and bus cycles with no instructions,
+// modeling uncached accesses such as descriptor-table reads during a
+// privilege transition or device-register I/O.
+func (e *Engine) Overhead(cycles, bus uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctr.Cycles += cycles
+	e.ctr.BusCycles += bus
+}

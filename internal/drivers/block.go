@@ -1,0 +1,304 @@
+package drivers
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/iosys"
+	"repro/internal/mach"
+	"repro/internal/objsys"
+)
+
+// BlockDriver is the common interface of the three driver architectures.
+// The caller thread is explicit because the user-level model performs an
+// RPC on the caller's behalf.
+type BlockDriver interface {
+	// ReadSectors reads count sectors starting at sector.
+	ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error)
+	// WriteSectors writes data (whole sectors) starting at sector.
+	WriteSectors(caller *mach.Thread, sector uint64, data []byte) error
+	// Model names the driver architecture.
+	Model() string
+}
+
+// ErrDriverDead reports a driver whose server task has exited.
+var ErrDriverDead = errors.New("drivers: driver task terminated")
+
+// --- In-kernel BSD-style driver -----------------------------------------
+
+// KernelBlockDriver is the classic structure: the driver is kernel text;
+// a request costs one trap, the driver path, and the device operation,
+// with the interrupt handled in the kernel.
+type KernelBlockDriver struct {
+	k    *mach.Kernel
+	disk *Disk
+	path cpu.Region
+}
+
+// NewKernelBlockDriver links a BSD-style driver into the kernel.  It
+// installs the in-kernel completion handler.
+func NewKernelBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, intr *iosys.InterruptController) (*KernelBlockDriver, error) {
+	d := &KernelBlockDriver{
+		k:    k,
+		disk: disk,
+		path: layout.PlaceInstr("bsd_block_driver", 700),
+	}
+	if err := intr.Load(disk.Vector(), func(int) {
+		k.CPU.Instr(80) // in-kernel completion
+	}, false); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadSectors implements BlockDriver.
+func (d *KernelBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error) {
+	d.k.Trap(d.path)
+	buf := make([]byte, count*SectorSize)
+	if err := d.disk.ReadSectors(sector, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteSectors implements BlockDriver.
+func (d *KernelBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data []byte) error {
+	d.k.Trap(d.path)
+	return d.disk.WriteSectors(sector, data)
+}
+
+// Model implements BlockDriver.
+func (d *KernelBlockDriver) Model() string { return "in-kernel BSD-style" }
+
+// --- User-level driver ---------------------------------------------------
+
+// Message IDs of the user-level driver protocol.
+const (
+	msgRead  mach.MsgID = 0x0D01
+	msgWrite mach.MsgID = 0x0D02
+)
+
+// UserBlockDriver runs the driver in its own task per the user-level
+// architecture: requests arrive by RPC, the device is reached through
+// HRM-granted resources, and completions are reflected to user level.
+type UserBlockDriver struct {
+	k     *mach.Kernel
+	task  *mach.Task
+	port  mach.PortName
+	disk  *Disk
+	path  cpu.Region
+	names map[mach.TaskID]mach.PortName
+}
+
+// NewUserBlockDriver starts the driver task and its service loop.
+func NewUserBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, hrm *iosys.HRM, intr *iosys.InterruptController) (*UserBlockDriver, error) {
+	d := &UserBlockDriver{
+		k:     k,
+		disk:  disk,
+		path:  layout.PlaceInstr("user_block_driver", 650),
+		names: make(map[mach.TaskID]mach.PortName),
+	}
+	d.task = k.NewTask("blockdrv")
+	port, err := d.task.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	d.port = port
+
+	hrm.Register(iosys.Resource{Name: "disk0:regs", Kind: iosys.ResIOPorts, Base: 0x1F0, Size: 8})
+	if _, err := hrm.Request("disk0:regs", "blockdrv", nil); err != nil {
+		return nil, err
+	}
+	// Completion reflected to user level: the expensive half of the
+	// architecture.
+	if err := intr.Load(disk.Vector(), func(int) {
+		k.CPU.Instr(120) // user-level completion routine
+	}, true); err != nil {
+		return nil, err
+	}
+
+	_, err = d.task.Spawn("service", func(th *mach.Thread) {
+		th.Serve(port, d.handle)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *UserBlockDriver) handle(req *mach.Message) *mach.Message {
+	d.k.CPU.Exec(d.path)
+	switch req.ID {
+	case msgRead:
+		sector := beU64(req.Body[0:8])
+		count := int(beU64(req.Body[8:16]))
+		buf := make([]byte, count*SectorSize)
+		if err := d.disk.ReadSectors(sector, buf); err != nil {
+			return &mach.Message{ID: 1, Body: []byte(err.Error())}
+		}
+		return &mach.Message{ID: 0, OOL: buf}
+	case msgWrite:
+		sector := beU64(req.Body[0:8])
+		if err := d.disk.WriteSectors(sector, req.OOL); err != nil {
+			return &mach.Message{ID: 1, Body: []byte(err.Error())}
+		}
+		return &mach.Message{ID: 0}
+	default:
+		return &mach.Message{ID: 1, Body: []byte("bad op")}
+	}
+}
+
+// portFor gives the caller's task a send right to the driver.
+func (d *UserBlockDriver) portFor(caller *mach.Thread) (mach.PortName, error) {
+	t := caller.Task()
+	if n, ok := d.names[t.ID()]; ok {
+		return n, nil
+	}
+	n, err := t.InsertRight(d.task, d.port, mach.DispMakeSend)
+	if err != nil {
+		return mach.NullName, err
+	}
+	d.names[t.ID()] = n
+	return n, nil
+}
+
+// ReadSectors implements BlockDriver via RPC to the driver task.
+func (d *UserBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error) {
+	n, err := d.portFor(caller)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 16)
+	putU64(body[0:8], sector)
+	putU64(body[8:16], uint64(count))
+	reply, err := caller.RPC(n, &mach.Message{ID: msgRead, Body: body})
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != 0 {
+		return nil, fmt.Errorf("drivers: %s", reply.Body)
+	}
+	return reply.OOL, nil
+}
+
+// WriteSectors implements BlockDriver via RPC to the driver task.
+func (d *UserBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data []byte) error {
+	n, err := d.portFor(caller)
+	if err != nil {
+		return err
+	}
+	body := make([]byte, 16)
+	putU64(body[0:8], sector)
+	reply, err := caller.RPC(n, &mach.Message{ID: msgWrite, Body: body, OOL: data})
+	if err != nil {
+		return err
+	}
+	if reply.ID != 0 {
+		return fmt.Errorf("drivers: %s", reply.Body)
+	}
+	return nil
+}
+
+// Model implements BlockDriver.
+func (d *UserBlockDriver) Model() string { return "user-level task" }
+
+// Task exposes the driver task (for shutdown in tests).
+func (d *UserBlockDriver) Task() *mach.Task { return d.task }
+
+// --- OODDM fine-grained-object driver -------------------------------------
+
+// OODDMBlockDriver is Taligent's architecture: a mostly-in-kernel driver
+// assembled from fine-grained objects, where each request traverses a
+// chain of short virtual methods, plus an in-kernel C++ runtime.
+type OODDMBlockDriver struct {
+	k     *mach.Kernel
+	disk  *Disk
+	h     *objsys.Hierarchy
+	obj   *objsys.Object
+	chain []string
+}
+
+// NewOODDMBlockDriver builds the class hierarchy (TInterruptHandler <-
+// TDevice <- TBlockDevice <- TDiskDevice <- TIDEDisk, with helper mixin
+// layers) and instantiates the driver.
+func NewOODDMBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, intr *iosys.InterruptController) (*OODDMBlockDriver, error) {
+	h := objsys.NewHierarchy(k.CPU, layout)
+	classes := []struct {
+		name, parent string
+		method       string
+	}{
+		{"TInterruptHandler", "", "HandleInterrupt"},
+		{"TDevice", "TInterruptHandler", "ValidateRequest"},
+		{"TIOService", "TDevice", "EnterService"},
+		{"TBlockDevice", "TIOService", "MapBuffer"},
+		{"TQueueingDevice", "TBlockDevice", "EnqueueRequest"},
+		{"TDiskDevice", "TQueueingDevice", "ComputeGeometry"},
+		{"TDMADevice", "TDiskDevice", "ProgramDMA"},
+		{"TIDEDisk", "TDMADevice", "IssueCommand"},
+	}
+	var chain []string
+	for _, c := range classes {
+		if _, err := h.DefineClass(c.name, c.parent, map[string]uint64{c.method: 95}); err != nil {
+			return nil, err
+		}
+		if c.parent != "" { // HandleInterrupt runs from the vector, not the chain
+			chain = append(chain, c.method)
+		}
+	}
+	h.Freeze()
+	obj, err := h.New("TIDEDisk")
+	if err != nil {
+		return nil, err
+	}
+	d := &OODDMBlockDriver{k: k, disk: disk, h: h, obj: obj, chain: chain}
+	if err := intr.Load(disk.Vector(), func(int) {
+		h.Invoke(obj, "HandleInterrupt")
+	}, false); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadSectors implements BlockDriver via the object chain.
+func (d *OODDMBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error) {
+	d.k.Trap(cpu.Region{})
+	if err := d.h.InvokeChain(d.obj, d.chain); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, count*SectorSize)
+	if err := d.disk.ReadSectors(sector, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteSectors implements BlockDriver via the object chain.
+func (d *OODDMBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data []byte) error {
+	d.k.Trap(cpu.Region{})
+	if err := d.h.InvokeChain(d.obj, d.chain); err != nil {
+		return err
+	}
+	return d.disk.WriteSectors(sector, data)
+}
+
+// Model implements BlockDriver.
+func (d *OODDMBlockDriver) Model() string { return "OODDM fine-grained objects" }
+
+// Hierarchy exposes the class hierarchy (for metadata accounting).
+func (d *OODDMBlockDriver) Hierarchy() *objsys.Hierarchy { return d.h }
+
+func beU64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b[:8] {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

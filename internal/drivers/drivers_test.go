@@ -1,0 +1,295 @@
+package drivers
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/iosys"
+	"repro/internal/mach"
+)
+
+type rig struct {
+	k    *mach.Kernel
+	intr *iosys.InterruptController
+	dma  *iosys.DMAController
+	hrm  *iosys.HRM
+	disk *Disk
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	l := k.Layout()
+	intr := iosys.NewInterruptController(k.CPU, l, 32)
+	dma := iosys.NewDMAController(k.CPU, l, 4)
+	hrm := iosys.NewHRM(k.CPU, l)
+	disk, err := NewDisk(k.CPU, dma, intr, 14, 4096)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	return &rig{k: k, intr: intr, dma: dma, hrm: hrm, disk: disk}
+}
+
+func TestDiskReadWriteRoundTrip(t *testing.T) {
+	r := newRig(t)
+	data := bytes.Repeat([]byte{0xAB}, 2*SectorSize)
+	if err := r.disk.WriteSectors(10, data); err != nil {
+		t.Fatalf("WriteSectors: %v", err)
+	}
+	buf := make([]byte, 2*SectorSize)
+	if err := r.disk.ReadSectors(10, buf); err != nil {
+		t.Fatalf("ReadSectors: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("round trip mismatch")
+	}
+	// Unwritten sectors read as zeros.
+	if err := r.disk.ReadSectors(100, buf); err != nil {
+		t.Fatalf("read unwritten: %v", err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("unwritten sector not zero")
+	}
+	reads, writes := r.disk.Counts()
+	if reads != 4 || writes != 2 {
+		t.Fatalf("counts: %d %d", reads, writes)
+	}
+	if r.intr.Count(14) != 3 {
+		t.Fatalf("interrupts = %d, want 3", r.intr.Count(14))
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	r := newRig(t)
+	if err := r.disk.ReadSectors(0, make([]byte, 100)); err != ErrBadSize {
+		t.Fatalf("bad size err = %v", err)
+	}
+	if err := r.disk.ReadSectors(4095, make([]byte, 2*SectorSize)); err != ErrBadSector {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if err := r.disk.WriteSectors(9999, make([]byte, SectorSize)); err != ErrBadSector {
+		t.Fatalf("write overflow err = %v", err)
+	}
+}
+
+func TestConsole(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	c := NewConsole(eng)
+	c.WriteString("hello ")
+	c.WriteString("wpos")
+	if c.Contents() != "hello wpos" {
+		t.Fatalf("contents = %q", c.Contents())
+	}
+	if eng.Counters().Instructions == 0 {
+		t.Fatal("console output should cost instructions")
+	}
+}
+
+func TestFramebufferFill(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	fb := NewFramebuffer(eng, 0xA0000, 64, 48)
+	fb.Fill(10, 10, 20, 5, 7)
+	if fb.Pixel(10, 10) != 7 || fb.Pixel(29, 14) != 7 {
+		t.Fatal("fill did not paint")
+	}
+	if fb.Pixel(9, 10) != 0 || fb.Pixel(30, 10) != 0 {
+		t.Fatal("fill painted outside the rect")
+	}
+	w, h := fb.Bounds()
+	if w != 64 || h != 48 {
+		t.Fatalf("bounds %dx%d", w, h)
+	}
+	// Clipping at the right edge must not panic.
+	fb.Fill(60, 47, 100, 100, 9)
+	if fb.Pixel(63, 47) != 9 {
+		t.Fatal("clipped fill missing")
+	}
+}
+
+func TestNICLink(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	l := cpu.NewLayout(0xA00000)
+	intr := iosys.NewInterruptController(eng, l, 8)
+	a := NewNIC(eng, intr, 3, "en0")
+	b := NewNIC(eng, intr, 4, "en1")
+	if err := a.Send(Frame{Payload: []byte("x")}); err != ErrNICDown {
+		t.Fatalf("unconnected err = %v", err)
+	}
+	Connect(a, b)
+	got := 0
+	intr.Load(4, func(int) { got++ }, false)
+	if err := a.Send(Frame{Src: "a", Dst: "b", Payload: []byte("ping")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	f, ok := b.Recv()
+	if !ok || string(f.Payload) != "ping" {
+		t.Fatalf("recv: %v %v", f, ok)
+	}
+	if got != 1 {
+		t.Fatal("receive interrupt not raised")
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("queue should be empty")
+	}
+	sent, _ := a.Stats()
+	_, rcvd := b.Stats()
+	if sent != 1 || rcvd != 1 {
+		t.Fatalf("stats %d %d", sent, rcvd)
+	}
+}
+
+func TestNICQueueLimit(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	l := cpu.NewLayout(0xA00000)
+	intr := iosys.NewInterruptController(eng, l, 8)
+	a := NewNIC(eng, intr, 3, "en0")
+	b := NewNIC(eng, intr, 4, "en1")
+	Connect(a, b)
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = a.Send(Frame{}); err != nil {
+			break
+		}
+	}
+	if err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+// driverFixture builds one of the three driver models over a fresh rig.
+func driverFixture(t testing.TB, model string) (*rig, BlockDriver, *mach.Thread) {
+	r := newRig(t)
+	var d BlockDriver
+	var err error
+	switch model {
+	case "kernel":
+		d, err = NewKernelBlockDriver(r.k, r.k.Layout(), r.disk, r.intr)
+	case "user":
+		d, err = NewUserBlockDriver(r.k, r.k.Layout(), r.disk, r.hrm, r.intr)
+	case "ooddm":
+		d, err = NewOODDMBlockDriver(r.k, r.k.Layout(), r.disk, r.intr)
+	}
+	if err != nil {
+		t.Fatalf("driver %s: %v", model, err)
+	}
+	app := r.k.NewTask("app")
+	th, err := app.NewBoundThread("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, d, th
+}
+
+func TestAllDriverModelsMoveData(t *testing.T) {
+	for _, model := range []string{"kernel", "user", "ooddm"} {
+		t.Run(model, func(t *testing.T) {
+			_, d, th := driverFixture(t, model)
+			data := bytes.Repeat([]byte{0xC3}, SectorSize)
+			if err := d.WriteSectors(th, 7, data); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			got, err := d.ReadSectors(th, 7, 1)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("data mismatch")
+			}
+			if d.Model() == "" {
+				t.Fatal("model name empty")
+			}
+		})
+	}
+}
+
+// TestDriverModelCostOrdering is experiment E9: the user-level task
+// driver costs the most per operation (RPC + reflected interrupts), the
+// in-kernel BSD driver the least, with OODDM in between (in-kernel but
+// paying the fine-grained dispatch chain).
+func TestDriverModelCostOrdering(t *testing.T) {
+	cost := func(model string) uint64 {
+		r, d, th := driverFixture(t, model)
+		buf := make([]byte, SectorSize)
+		for i := 0; i < 10; i++ { // warm
+			d.WriteSectors(th, 0, buf)
+		}
+		const N = 50
+		base := r.k.CPU.Counters()
+		for i := 0; i < N; i++ {
+			d.WriteSectors(th, 0, buf)
+		}
+		return r.k.CPU.Counters().Sub(base).Cycles / N
+	}
+	kernel := cost("kernel")
+	user := cost("user")
+	ooddm := cost("ooddm")
+	t.Logf("cycles/op: kernel=%d ooddm=%d user=%d", kernel, ooddm, user)
+	if !(kernel < ooddm && ooddm < user) {
+		t.Fatalf("expected kernel < ooddm < user, got %d %d %d", kernel, ooddm, user)
+	}
+}
+
+func TestUserDriverDeadTask(t *testing.T) {
+	r, d, th := driverFixture(t, "user")
+	ud := d.(*UserBlockDriver)
+	_ = r
+	if err := d.WriteSectors(th, 0, make([]byte, SectorSize)); err != nil {
+		t.Fatalf("warm write: %v", err)
+	}
+	ud.Task().Terminate()
+	if err := d.WriteSectors(th, 0, make([]byte, SectorSize)); err == nil {
+		t.Fatal("write to dead driver should fail")
+	}
+}
+
+func TestOODDMHierarchyMetadata(t *testing.T) {
+	_, d, _ := driverFixture(t, "ooddm")
+	od := d.(*OODDMBlockDriver)
+	if od.Hierarchy().Classes() != 8 {
+		t.Fatalf("classes = %d", od.Hierarchy().Classes())
+	}
+	if od.Hierarchy().MetadataFootprint() == 0 {
+		t.Fatal("no metadata accounted")
+	}
+}
+
+// Property: disk contents equal the last write at every sector, for any
+// write sequence through any driver model.
+func TestPropertyDriverConsistency(t *testing.T) {
+	f := func(ops []uint16, modelSel uint8) bool {
+		models := []string{"kernel", "user", "ooddm"}
+		_, d, th := driverFixture(quickT{}, models[int(modelSel)%3])
+		want := make(map[uint64]byte)
+		for i, op := range ops {
+			if i > 12 {
+				break
+			}
+			sector := uint64(op % 64)
+			val := byte(op>>8) | 1
+			data := bytes.Repeat([]byte{val}, SectorSize)
+			if err := d.WriteSectors(th, sector, data); err != nil {
+				return false
+			}
+			want[sector] = val
+		}
+		for sector, val := range want {
+			got, err := d.ReadSectors(th, sector, 1)
+			if err != nil || got[0] != val || got[SectorSize-1] != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickT satisfies testing.TB minimally for fixtures inside quick.Check.
+type quickT struct{ testing.TB }
+
+func (quickT) Helper()                           {}
+func (quickT) Fatalf(format string, args ...any) { panic(format) }
+func (quickT) Fatal(args ...any)                 { panic("fatal") }

@@ -1,0 +1,251 @@
+package iosys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+)
+
+func setup() (*cpu.Engine, *cpu.Layout) {
+	return cpu.NewEngine(cpu.Pentium133()), cpu.NewLayout(0x800000)
+}
+
+func TestHRMRequestGrant(t *testing.T) {
+	eng, l := setup()
+	h := NewHRM(eng, l)
+	h.Register(Resource{Name: "ide0", Kind: ResIOPorts, Base: 0x1F0, Size: 8})
+	r, err := h.Request("ide0", "diskdrv", nil)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if r.Base != 0x1F0 {
+		t.Fatalf("granted %+v", r)
+	}
+	if o, ok := h.Holder("ide0"); !ok || o != "diskdrv" {
+		t.Fatalf("holder %v %v", o, ok)
+	}
+}
+
+func TestHRMBusyWithoutYield(t *testing.T) {
+	eng, l := setup()
+	h := NewHRM(eng, l)
+	h.Register(Resource{Name: "com1", Kind: ResIOPorts, Base: 0x3F8, Size: 8})
+	h.Request("com1", "serA", nil)
+	if _, err := h.Request("com1", "serB", nil); err != ErrResourceBusy {
+		t.Fatalf("err = %v, want ErrResourceBusy", err)
+	}
+}
+
+func TestHRMYieldGrant(t *testing.T) {
+	eng, l := setup()
+	h := NewHRM(eng, l)
+	h.Register(Resource{Name: "fb", Kind: ResMemory, Base: 0xA0000, Size: 0x10000})
+	yielded := false
+	h.Request("fb", "textmode", func(r Resource, who Owner) bool {
+		yielded = true
+		return who == "gui"
+	})
+	if _, err := h.Request("fb", "randomdrv", nil); err != ErrResourceBusy {
+		t.Fatalf("non-gui request err = %v", err)
+	}
+	if _, err := h.Request("fb", "gui", nil); err != nil {
+		t.Fatalf("gui request: %v", err)
+	}
+	if !yielded {
+		t.Fatal("yield function never consulted")
+	}
+	if o, _ := h.Holder("fb"); o != "gui" {
+		t.Fatalf("holder = %v", o)
+	}
+}
+
+func TestHRMReleaseAndErrors(t *testing.T) {
+	eng, l := setup()
+	h := NewHRM(eng, l)
+	h.Register(Resource{Name: "x", Kind: ResIRQ, Base: 5, Size: 1})
+	if _, err := h.Request("nope", "d", nil); err != ErrNoResource {
+		t.Fatalf("err = %v", err)
+	}
+	h.Request("x", "d", nil)
+	if err := h.Release("x", "other"); err != ErrNotOwner {
+		t.Fatalf("release err = %v", err)
+	}
+	if err := h.Release("x", "d"); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := h.Request("x", "e", nil); err != nil {
+		t.Fatalf("re-request: %v", err)
+	}
+	if len(h.Resources()) != 1 {
+		t.Fatal("inventory wrong")
+	}
+}
+
+func TestInterruptDispatch(t *testing.T) {
+	eng, l := setup()
+	ic := NewInterruptController(eng, l, 16)
+	got := -1
+	if err := ic.Load(5, func(v int) { got = v }, false); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := ic.Raise(5); err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+	if got != 5 {
+		t.Fatalf("handler got %d", got)
+	}
+	if ic.Count(5) != 1 {
+		t.Fatalf("count = %d", ic.Count(5))
+	}
+	// Unhandled vector is dropped but counted.
+	if err := ic.Raise(7); err != nil {
+		t.Fatalf("unhandled raise: %v", err)
+	}
+	if ic.Count(7) != 1 {
+		t.Fatal("unhandled not counted")
+	}
+	if err := ic.Raise(99); err != ErrBadVector {
+		t.Fatalf("bad vector err = %v", err)
+	}
+}
+
+func TestInterruptClaimAndRevector(t *testing.T) {
+	eng, l := setup()
+	ic := NewInterruptController(eng, l, 16)
+	ic.Load(3, func(int) {}, false)
+	if err := ic.Load(3, func(int) {}, false); err != ErrVectorClaimed {
+		t.Fatalf("double claim err = %v", err)
+	}
+	if err := ic.Revector(3, 9); err != nil {
+		t.Fatalf("Revector: %v", err)
+	}
+	fired := false
+	ic.Load(3, func(int) { fired = true }, false)
+	ic.Raise(3)
+	if !fired {
+		t.Fatal("old vector should be reusable after revector")
+	}
+	if err := ic.Revector(99, 1); err != ErrBadVector {
+		t.Fatalf("revector missing err = %v", err)
+	}
+	ic.Load(1, func(int) {}, false)
+	if err := ic.Revector(9, 1); err != ErrVectorClaimed {
+		t.Fatalf("revector onto claimed err = %v", err)
+	}
+	if err := ic.Unload(9); err != nil {
+		t.Fatalf("Unload: %v", err)
+	}
+	if err := ic.Unload(9); err != ErrBadVector {
+		t.Fatalf("double unload err = %v", err)
+	}
+}
+
+func TestUserLevelReflectionCostsMore(t *testing.T) {
+	eng, l := setup()
+	ic := NewInterruptController(eng, l, 16)
+	ic.Load(1, func(int) {}, false)
+	ic.Load(2, func(int) {}, true)
+	// Warm.
+	ic.Raise(1)
+	ic.Raise(2)
+	const N = 50
+	base := eng.Counters()
+	for i := 0; i < N; i++ {
+		ic.Raise(1)
+	}
+	kernel := eng.Counters().Sub(base).Cycles
+	base = eng.Counters()
+	for i := 0; i < N; i++ {
+		ic.Raise(2)
+	}
+	user := eng.Counters().Sub(base).Cycles
+	t.Logf("in-kernel %d cycles/intr, user-level %d cycles/intr", kernel/N, user/N)
+	if user < 3*kernel {
+		t.Fatalf("user-level reflection should dominate: %d vs %d", user, kernel)
+	}
+}
+
+func TestDMAAllocateTransferFree(t *testing.T) {
+	eng, l := setup()
+	d := NewDMAController(eng, l, 2)
+	ch, err := d.Allocate("disk")
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	base := eng.Counters()
+	if err := d.Transfer(ch, "disk", 64*1024); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	delta := eng.Counters().Sub(base)
+	if delta.BusCycles < 64*1024/8 {
+		t.Fatalf("DMA moved %d bytes but only %d bus cycles", 64*1024, delta.BusCycles)
+	}
+	if d.Moved(ch) != 64*1024 {
+		t.Fatalf("moved = %d", d.Moved(ch))
+	}
+	if err := d.Transfer(ch, "intruder", 10); err != ErrDMANotAllocated {
+		t.Fatalf("foreign transfer err = %v", err)
+	}
+	if err := d.Free(ch, "disk"); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := d.Free(ch, "disk"); err != ErrDMANotAllocated {
+		t.Fatalf("double free err = %v", err)
+	}
+}
+
+func TestDMAExhaustion(t *testing.T) {
+	eng, l := setup()
+	d := NewDMAController(eng, l, 2)
+	d.Allocate("a")
+	d.Allocate("b")
+	if _, err := d.Allocate("c"); err != ErrNoDMAChannel {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIOSpaceMappingEnforced(t *testing.T) {
+	eng, _ := setup()
+	s := NewIOSpace(eng)
+	s.MapResource("ser", Resource{Name: "com1", Kind: ResIOPorts, Base: 0x3F8, Size: 8})
+	if _, err := s.Inb("ser", 0x3F8); err != nil {
+		t.Fatalf("Inb: %v", err)
+	}
+	if err := s.Outb("ser", 0x3FF, 1); err != nil {
+		t.Fatalf("Outb end of range: %v", err)
+	}
+	if _, err := s.Inb("ser", 0x400); err != ErrNotOwner {
+		t.Fatalf("out of range err = %v", err)
+	}
+	if _, err := s.Inb("other", 0x3F8); err != ErrNotOwner {
+		t.Fatalf("foreign owner err = %v", err)
+	}
+}
+
+// Property: the HRM never leaves a resource owned by two drivers, under
+// any request/release interleaving.
+func TestPropertyHRMSingleOwner(t *testing.T) {
+	f := func(ops []uint8) bool {
+		eng, l := setup()
+		h := NewHRM(eng, l)
+		h.Register(Resource{Name: "r", Kind: ResIOPorts})
+		owners := []Owner{"a", "b", "c"}
+		for _, op := range ops {
+			who := owners[int(op)%3]
+			if op%2 == 0 {
+				h.Request("r", who, func(Resource, Owner) bool { return op%3 == 0 })
+			} else {
+				h.Release("r", who)
+			}
+			// Invariant: at most one holder, and Holder agrees with held map.
+			if o, ok := h.Holder("r"); ok && o != "a" && o != "b" && o != "c" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

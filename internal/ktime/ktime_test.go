@@ -1,0 +1,173 @@
+package ktime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+)
+
+func newClock() (*Clock, *cpu.Engine) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	return NewClock(eng, cpu.NewLayout(0x300000), 133), eng
+}
+
+func TestNowAdvancesWithCycles(t *testing.T) {
+	c, eng := newClock()
+	t0 := c.Now()
+	eng.Stall(133_000) // 1ms at 133 MHz
+	t1 := c.Now()
+	if t1 <= t0 {
+		t.Fatalf("time did not advance: %d -> %d", t0, t1)
+	}
+	if d := t1 - t0; d < uint64Time(900*Microsecond) || d > uint64Time(1100*Microsecond) {
+		t.Fatalf("1ms of cycles advanced %dns", d)
+	}
+}
+
+func uint64Time(d Duration) Time { return Time(d) }
+
+func TestAfterFiresOnceAtDeadline(t *testing.T) {
+	c, _ := newClock()
+	fired := 0
+	c.After(10*Millisecond, func(Time) { fired++ })
+	c.Advance(5 * Millisecond)
+	if fired != 0 {
+		t.Fatal("fired early")
+	}
+	c.Advance(6 * Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	c.Advance(100 * Millisecond)
+	if fired != 1 {
+		t.Fatal("one-shot fired again")
+	}
+	if c.Pending() != 0 {
+		t.Fatal("one-shot should leave the queue")
+	}
+}
+
+func TestEveryRepeats(t *testing.T) {
+	c, _ := newClock()
+	fired := 0
+	tm := c.Every(Millisecond, func(Time) { fired++ })
+	c.Advance(Duration(5)*Millisecond + Microsecond)
+	if fired < 5 {
+		t.Fatalf("fired = %d, want >= 5", fired)
+	}
+	c.Cancel(tm)
+	n := fired
+	c.Advance(10 * Millisecond)
+	if fired != n {
+		t.Fatal("cancelled periodic timer kept firing")
+	}
+}
+
+func TestCancelBeforeFire(t *testing.T) {
+	c, _ := newClock()
+	fired := false
+	tm := c.After(Millisecond, func(Time) { fired = true })
+	if err := c.Cancel(tm); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if err := c.Cancel(tm); err != ErrTimerDead {
+		t.Fatalf("double cancel err = %v", err)
+	}
+	c.Advance(10 * Millisecond)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimersFireInDeadlineOrder(t *testing.T) {
+	c, _ := newClock()
+	var order []int
+	c.After(3*Millisecond, func(Time) { order = append(order, 3) })
+	c.After(1*Millisecond, func(Time) { order = append(order, 1) })
+	c.After(2*Millisecond, func(Time) { order = append(order, 2) })
+	c.Advance(10 * Millisecond)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeadlinesSorted(t *testing.T) {
+	c, _ := newClock()
+	c.After(5*Millisecond, nil)
+	c.After(1*Millisecond, nil)
+	c.After(3*Millisecond, nil)
+	dl := c.Deadlines()
+	if len(dl) != 3 {
+		t.Fatalf("pending = %d", len(dl))
+	}
+	for i := 1; i < len(dl); i++ {
+		if dl[i] < dl[i-1] {
+			t.Fatalf("deadlines not sorted: %v", dl)
+		}
+	}
+}
+
+func TestTimerDuringCallbackReschedules(t *testing.T) {
+	c, _ := newClock()
+	count := 0
+	var arm func(Time)
+	arm = func(Time) {
+		count++
+		if count < 3 {
+			c.After(Millisecond, arm)
+		}
+	}
+	c.After(Millisecond, arm)
+	c.Advance(10 * Millisecond)
+	if count != 3 {
+		t.Fatalf("chained count = %d, want 3", count)
+	}
+}
+
+// Property: after advancing by the max deadline, every armed one-shot
+// timer has fired exactly once, regardless of arming order.
+func TestPropertyAllTimersFire(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) > 30 {
+			ds = ds[:30]
+		}
+		c, _ := newClock()
+		fired := make([]int, len(ds))
+		var maxD Duration
+		for i, d := range ds {
+			dur := Duration(d%1000+1) * Microsecond
+			if dur > maxD {
+				maxD = dur
+			}
+			i := i
+			c.After(dur, func(Time) { fired[i]++ })
+		}
+		c.Advance(maxD + Millisecond)
+		for _, n := range fired {
+			if n != 1 {
+				return false
+			}
+		}
+		return c.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelPeriodicFromItsOwnCallback(t *testing.T) {
+	c, _ := newClock()
+	count := 0
+	var tm *Timer
+	tm = c.Every(Millisecond, func(Time) {
+		count++
+		if count == 2 {
+			c.Cancel(tm)
+		}
+	})
+	c.Advance(10 * Millisecond)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (self-cancel)", count)
+	}
+}

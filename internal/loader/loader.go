@@ -1,0 +1,302 @@
+package loader
+
+import (
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/vm"
+)
+
+// Loaded describes a module placed in an address space.
+type Loaded struct {
+	Image    *Image
+	TextBase vm.VAddr
+	DataBase vm.VAddr
+	BSSBase  vm.VAddr
+	Entry    vm.VAddr
+	Coerced  bool
+	// Bindings maps each import to the resolved absolute address.
+	Bindings map[Import]vm.VAddr
+}
+
+// Loader is the Microkernel Services loader instance.
+type Loader struct {
+	eng *cpu.Engine
+	sys *vm.System
+
+	loadOp    cpu.Region
+	resolveOp cpu.Region
+
+	mu sync.Mutex
+	// libraries loaded per address space (SVR4-style private loads).
+	perMap map[*vm.Map]map[string]*Loaded
+	// coerced libraries: loaded once, attached at the same address in
+	// every space, with the restrictive symbol semantics (exports
+	// resolve only against the coerced library set).
+	coerced map[string]*coercedLib
+	sealed  bool
+}
+
+type coercedLib struct {
+	loaded *Loaded
+	region *vm.CoercedRegion
+}
+
+// New creates a loader over the VM system.
+func New(eng *cpu.Engine, layout *cpu.Layout, sys *vm.System) *Loader {
+	return &Loader{
+		eng:       eng,
+		sys:       sys,
+		loadOp:    layout.PlaceInstr("loader_load", 2200),
+		resolveOp: layout.PlaceInstr("loader_resolve_sym", 150),
+		perMap:    make(map[*vm.Map]map[string]*Loaded),
+		coerced:   make(map[string]*coercedLib),
+	}
+}
+
+// Seal restricts the loader, modeling the final design in which Microkernel
+// Services loaded programs only prior to the initialization of the first
+// personality; afterwards personalities do their own program loading.
+func (l *Loader) Seal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sealed = true
+}
+
+// Sealed reports whether the loader still accepts program loads.
+func (l *Loader) Sealed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealed
+}
+
+func pageRound(n uint64) uint64 {
+	return (n + vm.PageSize - 1) &^ (vm.PageSize - 1)
+}
+
+// LoadLibrary loads a shared library privately into the map and resolves
+// its imports against libraries already loaded there (SVR4 semantics).
+func (l *Loader) LoadLibrary(m *vm.Map, img *Image) (*Loaded, error) {
+	if img.Kind != KindLibrary {
+		return nil, ErrNotLibrary
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	libs := l.perMap[m]
+	if libs == nil {
+		libs = make(map[string]*Loaded)
+		l.perMap[m] = libs
+	}
+	if _, ok := libs[img.Name]; ok {
+		return nil, ErrDupLibrary
+	}
+	ld, err := l.place(m, img)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.resolveLocked(m, ld); err != nil {
+		return nil, err
+	}
+	libs[img.Name] = ld
+	return ld, nil
+}
+
+// LoadCoercedLibrary loads a library into coerced memory: it occupies the
+// same address range in every address space that attaches it.  Symbol
+// resolution is restricted: coerced libraries may import only from other
+// coerced libraries.
+func (l *Loader) LoadCoercedLibrary(img *Image) (*Loaded, error) {
+	if img.Kind != KindLibrary {
+		return nil, ErrNotLibrary
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.coerced[img.Name]; ok {
+		return nil, ErrDupLibrary
+	}
+	l.eng.Exec(l.loadOp)
+	size := pageRound(uint64(len(img.Text))) + pageRound(uint64(len(img.Data))) + pageRound(uint64(img.BSSSize))
+	if size == 0 {
+		size = vm.PageSize
+	}
+	region, err := l.sys.AllocateCoerced(size, "lib:"+img.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Use a scratch map to populate the region's object once.
+	scratch := l.sys.NewMap(0)
+	if err := scratch.AttachCoerced(region); err != nil {
+		return nil, err
+	}
+	textBase := region.Start
+	dataBase := textBase + vm.VAddr(pageRound(uint64(len(img.Text))))
+	bssBase := dataBase + vm.VAddr(pageRound(uint64(len(img.Data))))
+	if err := scratch.Write(textBase, img.Text); err != nil {
+		return nil, err
+	}
+	if len(img.Data) > 0 {
+		if err := scratch.Write(dataBase, img.Data); err != nil {
+			return nil, err
+		}
+	}
+	ld := &Loaded{
+		Image: img, TextBase: textBase, DataBase: dataBase, BSSBase: bssBase,
+		Coerced: true, Bindings: make(map[Import]vm.VAddr),
+	}
+	// Restrictive resolution: only against other coerced libraries.
+	for _, im := range img.Imports {
+		l.eng.Exec(l.resolveOp)
+		dep, ok := l.coerced[im.Library]
+		if !ok {
+			return nil, importError(im)
+		}
+		addr, ok := exportAddr(dep.loaded, im.Symbol)
+		if !ok {
+			return nil, importError(im)
+		}
+		ld.Bindings[im] = addr
+	}
+	l.coerced[img.Name] = &coercedLib{loaded: ld, region: region}
+	return ld, nil
+}
+
+// AttachCoercedLibraries attaches every coerced library into the map at
+// its fixed address.
+func (l *Loader) AttachCoercedLibraries(m *vm.Map) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, cl := range l.coerced {
+		if err := m.AttachCoerced(cl.region); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadProgram loads a program image and resolves its imports against the
+// map's private libraries and the coerced set.  Fails once sealed.
+func (l *Loader) LoadProgram(m *vm.Map, img *Image) (*Loaded, error) {
+	if img.Kind != KindProgram {
+		return nil, ErrNotProgram
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return nil, ErrSealed
+	}
+	ld, err := l.place(m, img)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.resolveLocked(m, ld); err != nil {
+		return nil, err
+	}
+	ld.Entry = ld.TextBase + vm.VAddr(img.Entry)
+	return ld, nil
+}
+
+// place allocates segments in the map and copies text/data in.
+func (l *Loader) place(m *vm.Map, img *Image) (*Loaded, error) {
+	l.eng.Exec(l.loadOp)
+	textSz := pageRound(uint64(len(img.Text)))
+	dataSz := pageRound(uint64(len(img.Data)))
+	bssSz := pageRound(uint64(img.BSSSize))
+	total := textSz + dataSz + bssSz
+	if total == 0 {
+		total = vm.PageSize
+	}
+	base, err := m.Allocate(0x0800_0000, total, true)
+	if err != nil {
+		return nil, err
+	}
+	ld := &Loaded{
+		Image:    img,
+		TextBase: base,
+		DataBase: base + vm.VAddr(textSz),
+		BSSBase:  base + vm.VAddr(textSz+dataSz),
+		Bindings: make(map[Import]vm.VAddr),
+	}
+	if err := m.Write(ld.TextBase, img.Text); err != nil {
+		return nil, err
+	}
+	if len(img.Data) > 0 {
+		if err := m.Write(ld.DataBase, img.Data); err != nil {
+			return nil, err
+		}
+	}
+	return ld, nil
+}
+
+// resolveLocked binds imports against the map's libraries, then the
+// coerced set.
+func (l *Loader) resolveLocked(m *vm.Map, ld *Loaded) error {
+	for _, im := range ld.Image.Imports {
+		l.eng.Exec(l.resolveOp)
+		var addr vm.VAddr
+		found := false
+		if libs := l.perMap[m]; libs != nil {
+			if dep, ok := libs[im.Library]; ok {
+				if a, ok := exportAddr(dep, im.Symbol); ok {
+					addr, found = a, true
+				}
+			}
+		}
+		if !found {
+			if cl, ok := l.coerced[im.Library]; ok {
+				if a, ok := exportAddr(cl.loaded, im.Symbol); ok {
+					addr, found = a, true
+				}
+			}
+		}
+		if !found {
+			return importError(im)
+		}
+		ld.Bindings[im] = addr
+	}
+	return nil
+}
+
+func exportAddr(ld *Loaded, sym string) (vm.VAddr, bool) {
+	for _, s := range ld.Image.Exports {
+		if s.Name == sym {
+			return ld.TextBase + vm.VAddr(s.Offset), true
+		}
+	}
+	return 0, false
+}
+
+type unresolvedError struct{ im Import }
+
+func importError(im Import) error { return &unresolvedError{im} }
+
+func (e *unresolvedError) Error() string {
+	return "loader: unresolved import " + e.im.Library + ":" + e.im.Symbol
+}
+
+// Unwrap lets errors.Is match ErrUnresolved.
+func (e *unresolvedError) Unwrap() error { return ErrUnresolved }
+
+// Is reports whether target is ErrUnresolved.
+func (e *unresolvedError) Is(target error) bool { return target == ErrUnresolved }
+
+// Libraries reports the libraries privately loaded in a map.
+func (l *Loader) Libraries(m *vm.Map) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for name := range l.perMap[m] {
+		out = append(out, name)
+	}
+	return out
+}
+
+// CoercedLibraries reports the machine-wide coerced library set.
+func (l *Loader) CoercedLibraries() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for name := range l.coerced {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package loader
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/vm"
+)
+
+func newLoader() (*Loader, *vm.System) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	sys := vm.NewSystem(64 << 20)
+	return New(eng, cpu.NewLayout(0x600000), sys), sys
+}
+
+func libImage(name string, exports ...string) *Image {
+	img := &Image{
+		Name: name, Kind: KindLibrary,
+		Text: bytes.Repeat([]byte{0x90}, 256),
+		Data: []byte("lib data"),
+	}
+	for i, e := range exports {
+		img.Exports = append(img.Exports, Symbol{Name: e, Offset: uint32(i * 16)})
+	}
+	return img
+}
+
+func progImage(name string, imports ...Import) *Image {
+	return &Image{
+		Name: name, Kind: KindProgram, Entry: 4,
+		Text:    bytes.Repeat([]byte{0xCC}, 512),
+		Data:    []byte("prog data"),
+		BSSSize: 4096,
+		Imports: imports,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := &Image{
+		Name: "dos.wlm", Kind: KindProgram, Entry: 42,
+		Text: []byte{1, 2, 3}, Data: []byte{4, 5}, BSSSize: 8192,
+		Exports: []Symbol{{"main", 0}, {"helper", 100}},
+		Imports: []Import{{"libc", "printf"}, {"libos2", "DosOpen"}},
+	}
+	enc := Encode(img)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != img.Name || got.Entry != img.Entry || got.BSSSize != img.BSSSize {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Text, img.Text) || !bytes.Equal(got.Data, img.Data) {
+		t.Fatal("segment mismatch")
+	}
+	if len(got.Exports) != 2 || got.Exports[1].Name != "helper" || got.Exports[1].Offset != 100 {
+		t.Fatalf("exports: %+v", got.Exports)
+	}
+	if len(got.Imports) != 2 || got.Imports[1].Symbol != "DosOpen" {
+		t.Fatalf("imports: %+v", got.Imports)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("ELF!")); err != ErrBadMagic {
+		t.Fatalf("magic err = %v", err)
+	}
+	if _, err := Decode(append(Magic[:], 99)); err != ErrBadKind {
+		t.Fatalf("kind err = %v", err)
+	}
+	good := Encode(progImage("p"))
+	for _, cut := range []int{6, 10, 20, len(good) - 1} {
+		if cut >= len(good) {
+			continue
+		}
+		if _, err := Decode(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestLoadProgramWithLibrary(t *testing.T) {
+	l, sys := newLoader()
+	m := sys.NewMap(0)
+	lib := libImage("libc", "printf", "malloc")
+	if _, err := l.LoadLibrary(m, lib); err != nil {
+		t.Fatalf("LoadLibrary: %v", err)
+	}
+	prog := progImage("app", Import{"libc", "malloc"})
+	ld, err := l.LoadProgram(m, prog)
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	if ld.Entry != ld.TextBase+4 {
+		t.Fatalf("entry = %x, text = %x", ld.Entry, ld.TextBase)
+	}
+	addr, ok := ld.Bindings[Import{"libc", "malloc"}]
+	if !ok || addr == 0 {
+		t.Fatalf("binding missing: %+v", ld.Bindings)
+	}
+	// Text actually landed in the space.
+	b, err := m.Read(ld.TextBase, 4)
+	if err != nil || b[0] != 0xCC {
+		t.Fatalf("text not written: %v %v", b, err)
+	}
+}
+
+func TestUnresolvedImport(t *testing.T) {
+	l, sys := newLoader()
+	m := sys.NewMap(0)
+	prog := progImage("app", Import{"libmissing", "f"})
+	if _, err := l.LoadProgram(m, prog); !errors.Is(err, ErrUnresolved) {
+		t.Fatalf("err = %v, want ErrUnresolved", err)
+	}
+	lib := libImage("libc", "printf")
+	prog2 := progImage("app2", Import{"libc", "not_exported"})
+	l.LoadLibrary(m, lib)
+	if _, err := l.LoadProgram(m, prog2); !errors.Is(err, ErrUnresolved) {
+		t.Fatalf("missing symbol err = %v", err)
+	}
+}
+
+func TestKindChecks(t *testing.T) {
+	l, sys := newLoader()
+	m := sys.NewMap(0)
+	if _, err := l.LoadProgram(m, libImage("l")); err != ErrNotProgram {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := l.LoadLibrary(m, progImage("p")); err != ErrNotLibrary {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := l.LoadCoercedLibrary(progImage("p")); err != ErrNotLibrary {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateLibrary(t *testing.T) {
+	l, sys := newLoader()
+	m := sys.NewMap(0)
+	l.LoadLibrary(m, libImage("libc", "x"))
+	if _, err := l.LoadLibrary(m, libImage("libc", "x")); err != ErrDupLibrary {
+		t.Fatalf("err = %v", err)
+	}
+	// A different map may load the same library privately.
+	m2 := sys.NewMap(0)
+	if _, err := l.LoadLibrary(m2, libImage("libc", "x")); err != nil {
+		t.Fatalf("second space: %v", err)
+	}
+}
+
+func TestCoercedLibrarySameAddressEverywhere(t *testing.T) {
+	l, sys := newLoader()
+	lib := libImage("libshared", "entry")
+	ld, err := l.LoadCoercedLibrary(lib)
+	if err != nil {
+		t.Fatalf("LoadCoercedLibrary: %v", err)
+	}
+	if !ld.Coerced {
+		t.Fatal("not marked coerced")
+	}
+	m1 := sys.NewMap(0)
+	m2 := sys.NewMap(0)
+	if err := l.AttachCoercedLibraries(m1); err != nil {
+		t.Fatalf("attach m1: %v", err)
+	}
+	if err := l.AttachCoercedLibraries(m2); err != nil {
+		t.Fatalf("attach m2: %v", err)
+	}
+	// Both spaces see the library text at the SAME address.
+	b1, err1 := m1.Read(ld.TextBase, 8)
+	b2, err2 := m2.Read(ld.TextBase, 8)
+	if err1 != nil || err2 != nil || !bytes.Equal(b1, b2) || b1[0] != 0x90 {
+		t.Fatalf("coerced text mismatch: %v %v %v %v", b1, err1, b2, err2)
+	}
+}
+
+func TestCoercedRestrictedResolution(t *testing.T) {
+	l, _ := newLoader()
+	// A coerced library may not import from a private library.
+	dep := libImage("libpriv", "f")
+	_ = dep
+	needy := libImage("libneedy")
+	needy.Imports = []Import{{"libpriv", "f"}}
+	if _, err := l.LoadCoercedLibrary(needy); !errors.Is(err, ErrUnresolved) {
+		t.Fatalf("err = %v, want ErrUnresolved", err)
+	}
+	// But coerced-to-coerced imports resolve.
+	base := libImage("libbase", "f")
+	if _, err := l.LoadCoercedLibrary(base); err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	needy2 := libImage("libneedy2")
+	needy2.Imports = []Import{{"libbase", "f"}}
+	if _, err := l.LoadCoercedLibrary(needy2); err != nil {
+		t.Fatalf("coerced import: %v", err)
+	}
+}
+
+func TestSeal(t *testing.T) {
+	l, sys := newLoader()
+	m := sys.NewMap(0)
+	l.Seal()
+	if !l.Sealed() {
+		t.Fatal("not sealed")
+	}
+	if _, err := l.LoadProgram(m, progImage("late")); err != ErrSealed {
+		t.Fatalf("err = %v, want ErrSealed", err)
+	}
+	// Libraries may still load (personalities share libraries).
+	if _, err := l.LoadLibrary(m, libImage("libc", "x")); err != nil {
+		t.Fatalf("library after seal: %v", err)
+	}
+}
+
+func TestLibraryInventory(t *testing.T) {
+	l, sys := newLoader()
+	m := sys.NewMap(0)
+	l.LoadLibrary(m, libImage("a", "x"))
+	l.LoadLibrary(m, libImage("b", "y"))
+	l.LoadCoercedLibrary(libImage("c", "z"))
+	if n := len(l.Libraries(m)); n != 2 {
+		t.Fatalf("private libs = %d", n)
+	}
+	if n := len(l.CoercedLibraries()); n != 1 {
+		t.Fatalf("coerced libs = %d", n)
+	}
+}
+
+// Property: Encode/Decode is the identity on arbitrary images.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(name string, text, data []byte, bss uint32, entry uint32, syms []string) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		img := &Image{Name: name, Kind: KindLibrary, Entry: entry, Text: text, Data: data, BSSSize: bss}
+		for i, s := range syms {
+			if len(s) > 500 {
+				s = s[:500]
+			}
+			img.Exports = append(img.Exports, Symbol{Name: s, Offset: uint32(i)})
+			img.Imports = append(img.Imports, Import{Library: s, Symbol: s})
+		}
+		got, err := Decode(Encode(img))
+		if err != nil {
+			return false
+		}
+		if got.Name != img.Name || got.Entry != img.Entry || got.BSSSize != img.BSSSize {
+			return false
+		}
+		if !bytes.Equal(got.Text, img.Text) || !bytes.Equal(got.Data, img.Data) {
+			return false
+		}
+		if len(got.Exports) != len(img.Exports) || len(got.Imports) != len(img.Imports) {
+			return false
+		}
+		for i := range img.Exports {
+			if got.Exports[i] != img.Exports[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package loader implements the Microkernel Services program loader.  It
+// loads programs and shared libraries into address spaces.  The original
+// design gave each address space a single load-module format and loader
+// semantics (ELF with SVR4 semantics for personality-neutral code); the
+// scheme was later modified to permit mixing personality-neutral and
+// personality-specific code in one space and to support address coercion
+// of shared libraries with a more restrictive symbol-resolution
+// semantics.  The simulated load-module format is WLM ("Workplace Load
+// Module"), a compact ELF-like container defined in this file.
+package loader
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies a WLM image.
+var Magic = [4]byte{'W', 'L', 'M', '1'}
+
+// Kind distinguishes programs from shared libraries.
+type Kind uint8
+
+// Image kinds.
+const (
+	KindProgram Kind = 1
+	KindLibrary Kind = 2
+)
+
+// Symbol is an exported symbol: a name and an offset into the text
+// segment.
+type Symbol struct {
+	Name   string
+	Offset uint32
+}
+
+// Import names a symbol required from a library.
+type Import struct {
+	Library string
+	Symbol  string
+}
+
+// Image is a parsed WLM load module.
+type Image struct {
+	Name    string
+	Kind    Kind
+	Entry   uint32 // offset of the entry point in Text (programs)
+	Text    []byte
+	Data    []byte
+	BSSSize uint32
+	Exports []Symbol
+	Imports []Import
+}
+
+// Errors returned by the WLM codec and loader.
+var (
+	ErrBadMagic     = errors.New("loader: not a WLM image")
+	ErrTruncated    = errors.New("loader: truncated image")
+	ErrBadKind      = errors.New("loader: unknown image kind")
+	ErrUnresolved   = errors.New("loader: unresolved import")
+	ErrNotLibrary   = errors.New("loader: image is not a library")
+	ErrNotProgram   = errors.New("loader: image is not a program")
+	ErrSealed       = errors.New("loader: loader sealed after personality initialization")
+	ErrDupLibrary   = errors.New("loader: library already loaded")
+	ErrCoerceNeeded = errors.New("loader: library was linked for coercion")
+)
+
+// Encode serializes the image to the WLM wire format.
+func Encode(img *Image) []byte {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.WriteByte(byte(img.Kind))
+	writeStr := func(s string) {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+		buf.Write(l[:])
+		buf.WriteString(s)
+	}
+	write32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeStr(img.Name)
+	write32(img.Entry)
+	write32(uint32(len(img.Text)))
+	buf.Write(img.Text)
+	write32(uint32(len(img.Data)))
+	buf.Write(img.Data)
+	write32(img.BSSSize)
+	write32(uint32(len(img.Exports)))
+	for _, s := range img.Exports {
+		writeStr(s.Name)
+		write32(s.Offset)
+	}
+	write32(uint32(len(img.Imports)))
+	for _, im := range img.Imports {
+		writeStr(im.Library)
+		writeStr(im.Symbol)
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a WLM image.
+func Decode(b []byte) (*Image, error) {
+	if len(b) < 5 || !bytes.Equal(b[:4], Magic[:]) {
+		return nil, ErrBadMagic
+	}
+	img := &Image{Kind: Kind(b[4])}
+	if img.Kind != KindProgram && img.Kind != KindLibrary {
+		return nil, ErrBadKind
+	}
+	p := b[5:]
+	readStr := func() (string, error) {
+		if len(p) < 2 {
+			return "", ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < n {
+			return "", ErrTruncated
+		}
+		s := string(p[:n])
+		p = p[n:]
+		return s, nil
+	}
+	read32 := func() (uint32, error) {
+		if len(p) < 4 {
+			return 0, ErrTruncated
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := read32()
+		if err != nil {
+			return nil, err
+		}
+		if len(p) < int(n) {
+			return nil, ErrTruncated
+		}
+		out := append([]byte(nil), p[:n]...)
+		p = p[n:]
+		return out, nil
+	}
+	var err error
+	if img.Name, err = readStr(); err != nil {
+		return nil, err
+	}
+	if img.Entry, err = read32(); err != nil {
+		return nil, err
+	}
+	if img.Text, err = readBytes(); err != nil {
+		return nil, err
+	}
+	if img.Data, err = readBytes(); err != nil {
+		return nil, err
+	}
+	if img.BSSSize, err = read32(); err != nil {
+		return nil, err
+	}
+	ne, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ne; i++ {
+		var s Symbol
+		if s.Name, err = readStr(); err != nil {
+			return nil, err
+		}
+		if s.Offset, err = read32(); err != nil {
+			return nil, err
+		}
+		img.Exports = append(img.Exports, s)
+	}
+	ni, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ni; i++ {
+		var im Import
+		if im.Library, err = readStr(); err != nil {
+			return nil, err
+		}
+		if im.Symbol, err = readStr(); err != nil {
+			return nil, err
+		}
+		img.Imports = append(img.Imports, im)
+	}
+	return img, nil
+}
+
+func (img *Image) String() string {
+	return fmt.Sprintf("WLM %s kind=%d text=%d data=%d bss=%d exports=%d imports=%d",
+		img.Name, img.Kind, len(img.Text), len(img.Data), img.BSSSize,
+		len(img.Exports), len(img.Imports))
+}

@@ -1,0 +1,20 @@
+package mach
+
+import "errors"
+
+// Kernel return codes, modeled on Mach's kern_return_t values.
+var (
+	ErrInvalidName     = errors.New("mach: invalid port name")
+	ErrInvalidRight    = errors.New("mach: name does not denote the required right")
+	ErrDeadPort        = errors.New("mach: port is dead")
+	ErrNoSpace         = errors.New("mach: port name space exhausted")
+	ErrTimeout         = errors.New("mach: operation timed out")
+	ErrQueueFull       = errors.New("mach: message queue full")
+	ErrInvalidTask     = errors.New("mach: invalid or terminated task")
+	ErrInvalidThread   = errors.New("mach: invalid or terminated thread")
+	ErrMsgTooLarge     = errors.New("mach: inline message body exceeds limit")
+	ErrNoReplyExpected = errors.New("mach: RPC reply without a waiting client")
+	ErrAborted         = errors.New("mach: operation aborted by thread termination")
+	ErrNotReceiver     = errors.New("mach: caller does not hold the receive right")
+	ErrRightExists     = errors.New("mach: name already denotes a right")
+)

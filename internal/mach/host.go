@@ -1,0 +1,143 @@
+package mach
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Host is the hosts-and-processor-sets component inherited from Mach 3.0:
+// a host owns processors grouped into processor sets, and tasks/threads
+// are assigned to a set for scheduling.  The simulation has one modeled
+// processor, but the control interfaces are complete so personality
+// servers and the boot path can use them.
+type Host struct {
+	kernel *Kernel
+
+	mu    sync.Mutex
+	psets map[string]*ProcessorSet
+	procs []*Processor
+}
+
+// Processor models one CPU known to the host.
+type Processor struct {
+	Slot    int
+	Running bool
+	set     *ProcessorSet
+}
+
+// ProcessorSet groups processors and the tasks assigned to them.
+type ProcessorSet struct {
+	Name string
+
+	mu       sync.Mutex
+	procs    []*Processor
+	assigned map[TaskID]*Task
+	maxPri   int
+}
+
+// DefaultPSet is the name of the default processor set.
+const DefaultPSet = "default"
+
+func newHost(k *Kernel) *Host {
+	h := &Host{kernel: k, psets: make(map[string]*ProcessorSet)}
+	def := &ProcessorSet{Name: DefaultPSet, assigned: make(map[TaskID]*Task), maxPri: 31}
+	h.psets[DefaultPSet] = def
+	p := &Processor{Slot: 0, Running: true, set: def}
+	h.procs = []*Processor{p}
+	def.procs = []*Processor{p}
+	return h
+}
+
+// Info describes the host, as host_info did.
+type Info struct {
+	Processors    int
+	ProcessorSets int
+	Tasks         int
+	KernelVersion string
+}
+
+// Info returns a snapshot of host-wide information.
+func (h *Host) Info() Info {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.kernel.mu.Lock()
+	nt := len(h.kernel.tasks)
+	h.kernel.mu.Unlock()
+	return Info{
+		Processors:    len(h.procs),
+		ProcessorSets: len(h.psets),
+		Tasks:         nt,
+		KernelVersion: "IBM Microkernel (simulated) R2",
+	}
+}
+
+// DefaultSet returns the default processor set.
+func (h *Host) DefaultSet() *ProcessorSet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.psets[DefaultPSet]
+}
+
+// CreateSet creates a named processor set with no processors.
+func (h *Host) CreateSet(name string) (*ProcessorSet, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.psets[name]; ok {
+		return nil, fmt.Errorf("mach: processor set %q exists", name)
+	}
+	ps := &ProcessorSet{Name: name, assigned: make(map[TaskID]*Task), maxPri: 31}
+	h.psets[name] = ps
+	return ps, nil
+}
+
+// Sets lists the processor sets.
+func (h *Host) Sets() []*ProcessorSet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*ProcessorSet, 0, len(h.psets))
+	for _, ps := range h.psets {
+		out = append(out, ps)
+	}
+	return out
+}
+
+// AssignTask places a task in the set.
+func (ps *ProcessorSet) AssignTask(t *Task) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.assigned[t.id] = t
+}
+
+// RemoveTask removes a task from the set.
+func (ps *ProcessorSet) RemoveTask(t *Task) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	delete(ps.assigned, t.id)
+}
+
+// TaskCount reports how many tasks are assigned to the set.
+func (ps *ProcessorSet) TaskCount() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.assigned)
+}
+
+// SetMaxPriority bounds the scheduling priority of the set's threads.
+func (ps *ProcessorSet) SetMaxPriority(p int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	if p > 31 {
+		p = 31
+	}
+	ps.maxPri = p
+}
+
+// MaxPriority returns the set's priority ceiling.
+func (ps *ProcessorSet) MaxPriority() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.maxPri
+}

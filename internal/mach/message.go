@@ -1,0 +1,78 @@
+package mach
+
+// MsgID identifies the operation requested by a message, as in MIG-
+// generated interfaces.
+type MsgID uint32
+
+// InlineMax is the largest body carried inline in a message.  Data larger
+// than this is passed by reference and copied across from sender to
+// receiver ("passed data too large for the message body by reference,
+// copying it across from sender to receiver").
+const InlineMax = 4096
+
+// PortDisposition says how a right travels in a message body.
+type PortDisposition uint8
+
+const (
+	// DispNone carries no right.
+	DispNone PortDisposition = iota
+	// DispCopySend copies a send right from the sender's space.
+	DispCopySend
+	// DispMakeSend makes a new send right from a receive right.
+	DispMakeSend
+	// DispMakeSendOnce makes a send-once right from a receive right.
+	DispMakeSendOnce
+	// DispMoveReceive moves the receive right itself.
+	DispMoveReceive
+)
+
+// PortRight is a port right in transit inside a message.
+type PortRight struct {
+	// Name is the sender-side name on send, rewritten to the
+	// receiver-side name on delivery.
+	Name        PortName
+	Disposition PortDisposition
+
+	// port is the kernel-internal carried object while in transit.
+	port *Port
+	typ  RightType
+}
+
+// Message is the unit of communication.  The header mirrors Mach's
+// mach_msg_header_t: a destination, an optional reply port (used only by
+// the classic queued path — the reworked RPC removed reply ports), an
+// operation ID and a body.
+type Message struct {
+	// ID is the operation selector.
+	ID MsgID
+	// Remote is the destination name on send; on delivery it is
+	// rewritten to the reply right's receiver-side name (classic path).
+	Remote PortName
+	// Local is the reply port name (classic path only).
+	Local PortName
+	// LocalDisposition controls what right the reply port name carries.
+	LocalDisposition PortDisposition
+
+	// Body is the inline data, at most InlineMax bytes.
+	Body []byte
+
+	// OOL is the out-of-line payload, passed by reference and copied
+	// once, directly from sender to receiver, in the RPC path; the
+	// classic path transfers it by virtual copy (per-page map
+	// operations plus copy-on-write faults).
+	OOL []byte
+
+	// Rights are port rights carried in the body.
+	Rights []PortRight
+
+	// Seq is the delivery sequence number stamped by the kernel.
+	Seq uint64
+
+	// replyPort is the in-transit reply right (classic path).
+	replyPort *Port
+}
+
+// Size returns the total byte count the message transfers.
+func (m *Message) Size() int {
+	return len(m.Body) + len(m.OOL)
+}

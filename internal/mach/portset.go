@@ -1,0 +1,206 @@
+package mach
+
+import "sync"
+
+// Port sets, inherited from Mach 3.0: a receive right can be moved into a
+// port set, and a single server thread receiving on the set services all
+// member ports — the mechanism behind designs like the file server's
+// port-per-open-file without a thread per port.
+
+// PortSet groups receive rights for combined receive.
+type PortSet struct {
+	id   uint64
+	task *Task
+
+	mu      sync.Mutex
+	members map[*Port]PortName
+	dead    bool
+
+	// ch receives exchanges forwarded from member ports.
+	ch chan setDelivery
+}
+
+type setDelivery struct {
+	ex   *rpcExchange
+	port *Port
+	name PortName // receiver-side name of the member port
+}
+
+// AllocatePortSet creates an empty port set in the task.
+func (t *Task) AllocatePortSet() (*PortSet, error) {
+	k := t.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.portLookup)
+	defer k.rti()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return nil, ErrInvalidTask
+	}
+	return &PortSet{
+		id:      k.allocPortID(),
+		task:    t,
+		members: make(map[*Port]PortName),
+		ch:      make(chan setDelivery),
+	}, nil
+}
+
+// AddMember moves the named receive right into the set.  A forwarder
+// relays the port's synchronous rendezvous into the set's channel,
+// preserving the no-queuing property: a sender still blocks until a
+// server thread actually takes the exchange from the set.
+func (ps *PortSet) AddMember(n PortName) error {
+	t := ps.task
+	k := t.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.portLookup)
+	defer k.rti()
+	e, err := t.ports.lookup(n, RightReceive)
+	if err != nil {
+		return err
+	}
+	port := e.port
+	if port.receiverTask() != t {
+		return ErrNotReceiver
+	}
+	ps.mu.Lock()
+	if ps.dead {
+		ps.mu.Unlock()
+		return ErrDeadPort
+	}
+	if _, ok := ps.members[port]; ok {
+		ps.mu.Unlock()
+		return ErrRightExists
+	}
+	ps.members[port] = n
+	ps.mu.Unlock()
+	go ps.forward(port, n)
+	return nil
+}
+
+// forward relays one member port's exchanges into the set until the port
+// or the set dies.
+func (ps *PortSet) forward(port *Port, name PortName) {
+	for {
+		ps.mu.Lock()
+		_, member := ps.members[port]
+		dead := ps.dead
+		ps.mu.Unlock()
+		if !member || dead || port.Dead() {
+			return
+		}
+		select {
+		case ex, ok := <-portRecvChan(port):
+			if !ok {
+				return
+			}
+			ps.mu.Lock()
+			_, still := ps.members[port]
+			setDead := ps.dead
+			ps.mu.Unlock()
+			if !still || setDead {
+				// The port left the set with an exchange in hand;
+				// fail the caller rather than losing it.
+				close(ex.reply)
+				return
+			}
+			select {
+			case ps.ch <- setDelivery{ex: ex, port: port, name: name}:
+			case <-ex.abort:
+			}
+		case <-port.rpcClosed():
+			return
+		}
+	}
+}
+
+// portRecvChan and rpcClosed expose the port's rendezvous to the
+// forwarder.
+func portRecvChan(p *Port) <-chan *rpcExchange { return p.rpc }
+
+func (p *Port) rpcClosed() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closedCh == nil {
+		p.closedCh = make(chan struct{})
+		if p.dead {
+			close(p.closedCh)
+		}
+	}
+	return p.closedCh
+}
+
+// RemoveMember takes a port out of the set; it becomes directly
+// receivable again.
+func (ps *PortSet) RemoveMember(n PortName) error {
+	t := ps.task
+	e, err := t.ports.lookup(n, RightReceive)
+	if err != nil {
+		return err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if _, ok := ps.members[e.port]; !ok {
+		return ErrInvalidName
+	}
+	delete(ps.members, e.port)
+	return nil
+}
+
+// Members reports the current member count.
+func (ps *PortSet) Members() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.members)
+}
+
+// Destroy dissolves the set (member ports survive).
+func (ps *PortSet) Destroy() {
+	ps.mu.Lock()
+	ps.dead = true
+	ps.members = make(map[*Port]PortName)
+	ps.mu.Unlock()
+}
+
+// RPCReceiveSet blocks until any member port has an RPC, returning the
+// request, the responder, and the member's receive-right name so the
+// server can tell which object was invoked.
+func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, error) {
+	if ps.task != th.task {
+		return nil, nil, NullName, ErrNotReceiver
+	}
+	k := th.task.kernel
+	var d setDelivery
+	select {
+	case d = <-ps.ch:
+	case <-th.abort:
+		return nil, nil, NullName, ErrAborted
+	}
+	k.CPU.SwitchAddressSpace(th.task.asid)
+	k.CPU.Exec(k.paths.rpcReceive)
+	k.CPU.Exec(k.paths.rpcStubS)
+	k.touchKData(d.port.id, 96)
+	if len(d.ex.request.Rights) > 0 {
+		th.task.acceptRights(d.ex.request)
+	}
+	d.port.mu.Lock()
+	d.port.seqno++
+	d.ex.request.Seq = d.port.seqno
+	d.port.mu.Unlock()
+	k.rti()
+	return d.ex.request, &Responder{ex: d.ex, port: d.port, srv: th}, d.name, nil
+}
+
+// ServeSet runs a combined server loop over the set: h also receives the
+// member port's name.
+func (th *Thread) ServeSet(ps *PortSet, h func(port PortName, req *Message) *Message) error {
+	for {
+		req, resp, name, err := th.RPCReceiveSet(ps)
+		if err != nil {
+			return err
+		}
+		if err := resp.Reply(h(name, req)); err != nil {
+			return err
+		}
+	}
+}

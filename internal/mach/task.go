@@ -1,0 +1,360 @@
+package mach
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Task is a Mach task: an address space (identified here by its ASID and
+// glued to internal/vm by higher layers), a port name space and a set of
+// threads.  Operating-system personality processes map one-to-one onto
+// tasks, as the paper describes for OS/2.
+type Task struct {
+	kernel *Kernel
+	id     TaskID
+	name   string
+	asid   uint64
+
+	ports *space
+
+	mu        sync.Mutex
+	threads   map[ThreadID]*Thread
+	dead      bool
+	selfPort  *Port
+	selfName  PortName
+	suspendCt int
+
+	// AS is an attachment point for the task's address space object
+	// (an *vm.Map); the microkernel itself never dereferences it,
+	// keeping the layering of the real system where VM is a separate
+	// component.
+	AS any
+}
+
+// NewTask creates a task.  It charges the task-creation path.
+func (k *Kernel) NewTask(name string) *Task {
+	k.trap()
+	k.CPU.Exec(k.paths.taskCreate)
+	defer k.rti()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.newTaskLocked(name)
+}
+
+func (k *Kernel) newTaskLocked(name string) *Task {
+	t := &Task{
+		kernel:  k,
+		id:      k.nextTask,
+		name:    name,
+		asid:    uint64(k.nextTask),
+		ports:   newSpace(),
+		threads: make(map[ThreadID]*Thread),
+	}
+	if name == "kernel" && k.nextTask == 1 {
+		t.asid = 0
+	}
+	k.nextTask++
+	k.tasks[t.id] = t
+	t.selfPort = newPort(k.allocPortID())
+	t.selfPort.recvTask = t
+	n, _ := t.ports.insert(t.selfPort, RightReceive)
+	t.selfName = n
+	return t
+}
+
+// ID returns the task identifier.
+func (t *Task) ID() TaskID { return t.id }
+
+// Name returns the task's debug name.
+func (t *Task) Name() string { return t.name }
+
+// ASID returns the address-space identifier loaded on RPC delivery into
+// this task.
+func (t *Task) ASID() uint64 { return t.asid }
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.kernel }
+
+// SelfName returns the task's kernel port name (task_self).
+func (t *Task) SelfName() PortName { return t.selfName }
+
+// Terminate kills the task: all threads are marked dead and all ports it
+// holds receive rights for are destroyed.
+func (t *Task) Terminate() {
+	t.kernel.trap()
+	defer t.kernel.rti()
+	t.mu.Lock()
+	if t.dead {
+		t.mu.Unlock()
+		return
+	}
+	t.dead = true
+	threads := make([]*Thread, 0, len(t.threads))
+	for _, th := range t.threads {
+		threads = append(threads, th)
+	}
+	t.mu.Unlock()
+	for _, th := range threads {
+		th.terminate()
+	}
+	// Destroy ports we hold the receive right for.
+	for _, n := range t.ports.names() {
+		if e, err := t.ports.lookup(n, RightNone); err == nil && e.typ == RightReceive {
+			e.port.destroy()
+		}
+	}
+	t.kernel.mu.Lock()
+	delete(t.kernel.tasks, t.id)
+	t.kernel.mu.Unlock()
+}
+
+// Dead reports whether the task has been terminated.
+func (t *Task) Dead() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+// ThreadCount reports the number of live threads.
+func (t *Task) ThreadCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.threads)
+}
+
+// PortCount reports the number of names in the task's port space.
+func (t *Task) PortCount() int { return t.ports.count() }
+
+func (t *Task) String() string {
+	return fmt.Sprintf("task %d (%s)", t.id, t.name)
+}
+
+// Thread is a Mach thread.  Simulated threads are backed by goroutines;
+// all performance numbers come from the cost model, not the Go scheduler.
+type Thread struct {
+	task *Task
+	id   ThreadID
+	name string
+
+	mu       sync.Mutex
+	dead     bool
+	doneCh   chan struct{}
+	selfPort *Port
+	selfName PortName
+	abort    chan struct{}
+}
+
+// Spawn creates a thread in the task running fn on its own goroutine.
+// It charges the thread-creation path.
+func (t *Task) Spawn(name string, fn func(*Thread)) (*Thread, error) {
+	k := t.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.threadCreate)
+	k.rti()
+
+	t.mu.Lock()
+	if t.dead {
+		t.mu.Unlock()
+		return nil, ErrInvalidTask
+	}
+	k.mu.Lock()
+	id := k.nextThread
+	k.nextThread++
+	k.mu.Unlock()
+	th := &Thread{
+		task:   t,
+		id:     id,
+		name:   name,
+		doneCh: make(chan struct{}),
+		abort:  make(chan struct{}),
+	}
+	th.selfPort = newPort(k.allocPortID())
+	th.selfPort.recvTask = t
+	th.selfName, _ = t.ports.insert(th.selfPort, RightReceive)
+	t.threads[id] = th
+	t.mu.Unlock()
+
+	go func() {
+		defer func() {
+			th.terminate()
+		}()
+		fn(th)
+	}()
+	return th, nil
+}
+
+// NewBoundThread creates a thread object without a goroutine; the caller's
+// own goroutine acts as the thread (used by benchmarks and the boot task).
+func (t *Task) NewBoundThread(name string) (*Thread, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return nil, ErrInvalidTask
+	}
+	k := t.kernel
+	k.mu.Lock()
+	id := k.nextThread
+	k.nextThread++
+	k.mu.Unlock()
+	th := &Thread{
+		task:   t,
+		id:     id,
+		name:   name,
+		doneCh: make(chan struct{}),
+		abort:  make(chan struct{}),
+	}
+	th.selfPort = newPort(k.allocPortID())
+	th.selfPort.recvTask = t
+	th.selfName, _ = t.ports.insert(th.selfPort, RightReceive)
+	t.threads[id] = th
+	return th, nil
+}
+
+// ID returns the thread identifier.
+func (th *Thread) ID() ThreadID { return th.id }
+
+// Name returns the thread's debug name.
+func (th *Thread) Name() string { return th.name }
+
+// Task returns the owning task.
+func (th *Thread) Task() *Task { return th.task }
+
+// Done is closed when the thread terminates.
+func (th *Thread) Done() <-chan struct{} { return th.doneCh }
+
+// Self is the thread_self trap of Table 2: it enters the kernel, touches
+// the thread object, and returns the caller's thread port name.  465
+// instructions on the calibrated model.
+func (th *Thread) Self() PortName {
+	k := th.task.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.threadSelf)
+	k.touchKData(uint64(th.id), 64)
+	k.rti()
+	return th.selfName
+}
+
+// terminate marks the thread dead and aborts any blocking operation.
+func (th *Thread) terminate() {
+	th.mu.Lock()
+	if th.dead {
+		th.mu.Unlock()
+		return
+	}
+	th.dead = true
+	close(th.abort)
+	close(th.doneCh)
+	th.mu.Unlock()
+	th.task.mu.Lock()
+	delete(th.task.threads, th.id)
+	th.task.mu.Unlock()
+	th.selfPort.destroy()
+}
+
+// Terminate kills the thread (thread_terminate).
+func (th *Thread) Terminate() {
+	k := th.task.kernel
+	k.trap()
+	defer k.rti()
+	th.terminate()
+}
+
+// Dead reports whether the thread has terminated.
+func (th *Thread) Dead() bool {
+	th.mu.Lock()
+	defer th.mu.Unlock()
+	return th.dead
+}
+
+func (th *Thread) String() string {
+	return fmt.Sprintf("thread %d (%s) of %s", th.id, th.name, th.task)
+}
+
+// AllocatePort creates a new port and inserts the receive right into the
+// task's name space (mach_port_allocate).
+func (t *Task) AllocatePort() (PortName, error) {
+	k := t.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.portLookup)
+	defer k.rti()
+	t.mu.Lock()
+	if t.dead {
+		t.mu.Unlock()
+		return NullName, ErrInvalidTask
+	}
+	t.mu.Unlock()
+	p := newPort(k.allocPortID())
+	p.recvTask = t
+	return t.ports.insert(p, RightReceive)
+}
+
+// DeallocatePort releases one reference on a name; deleting a receive
+// right destroys the port (mach_port_deallocate/destroy).
+func (t *Task) DeallocatePort(n PortName) error {
+	k := t.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.portLookup)
+	defer k.rti()
+	p, typ, err := t.ports.remove(n)
+	if err != nil {
+		return err
+	}
+	if typ == RightReceive {
+		p.destroy()
+	}
+	return nil
+}
+
+// InsertRight gives the task a right to a port held by another task,
+// standing in for right transfer done by the bootstrap/name server
+// (mach_port_insert_right).
+func (t *Task) InsertRight(from *Task, name PortName, disp PortDisposition) (PortName, error) {
+	k := t.kernel
+	k.trap()
+	k.CPU.Exec(k.paths.rightXfer)
+	defer k.rti()
+	e, err := from.ports.lookup(name, RightNone)
+	if err != nil {
+		return NullName, err
+	}
+	var typ RightType
+	switch disp {
+	case DispCopySend:
+		if e.typ != RightSend && e.typ != RightReceive {
+			return NullName, ErrInvalidRight
+		}
+		typ = RightSend
+	case DispMakeSend:
+		if e.typ != RightReceive {
+			return NullName, ErrInvalidRight
+		}
+		typ = RightSend
+	case DispMakeSendOnce:
+		if e.typ != RightReceive {
+			return NullName, ErrInvalidRight
+		}
+		typ = RightSendOnce
+	case DispMoveReceive:
+		if e.typ != RightReceive {
+			return NullName, ErrInvalidRight
+		}
+		from.ports.remove(name)
+		e.port.setReceiverTask(t)
+		typ = RightReceive
+	default:
+		return NullName, ErrInvalidRight
+	}
+	return t.ports.insert(e.port, typ)
+}
+
+// portFor resolves a name in this task's space for sending.
+func (t *Task) portFor(n PortName, want RightType) (*Port, *rightEntry, error) {
+	e, err := t.ports.lookup(n, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.port.Dead() {
+		return nil, nil, ErrDeadPort
+	}
+	return e.port, e, nil
+}

@@ -1,0 +1,147 @@
+package mono
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/drivers"
+	"repro/internal/mach"
+	"repro/internal/os2"
+	"repro/internal/vfs"
+	"repro/internal/vm"
+)
+
+func newSys(t testing.TB) (*System, *mach.Kernel) {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	fb := drivers.NewFramebuffer(k.CPU, 0xA0000, 320, 200)
+	s := New(k, 16<<20, fb)
+	if err := s.Mount("/", vfs.NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	return s, k
+}
+
+func TestNativeFileAPI(t *testing.T) {
+	s, _ := newSys(t)
+	p, err := s.CreateProcess("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, e := p.DosOpen("/data", true, true)
+	if e != os2.NoError {
+		t.Fatalf("open: %v", e)
+	}
+	if _, e := p.DosWrite(h, []byte("native")); e != os2.NoError {
+		t.Fatalf("write: %v", e)
+	}
+	p.DosSetFilePtr(h, 0)
+	buf := make([]byte, 6)
+	if n, e := p.DosRead(h, buf); e != os2.NoError || n != 6 || !bytes.Equal(buf, []byte("native")) {
+		t.Fatalf("read: %d %v %q", n, e, buf)
+	}
+	if e := p.DosClose(h); e != os2.NoError {
+		t.Fatalf("close: %v", e)
+	}
+	if e := p.DosClose(h); e != os2.ErrInvalidHandle {
+		t.Fatalf("double close: %v", e)
+	}
+	if _, e := p.DosOpen("/missing", false, false); e != os2.ErrFileNotFound {
+		t.Fatalf("missing: %v", e)
+	}
+	if e := p.DosMkdir("/d"); e != os2.NoError {
+		t.Fatalf("mkdir: %v", e)
+	}
+	if a, e := p.DosQueryPathInfo("/d"); e != os2.NoError || !a.Dir {
+		t.Fatalf("stat: %+v %v", a, e)
+	}
+	if e := p.DosDelete("/d"); e != os2.NoError {
+		t.Fatalf("delete: %v", e)
+	}
+}
+
+func TestNativeMemoryAPI(t *testing.T) {
+	s, _ := newSys(t)
+	p, _ := s.CreateProcess("mem")
+	addr, e := p.DosAllocMem(100, true)
+	if e != os2.NoError {
+		t.Fatalf("alloc: %v", e)
+	}
+	if e := p.WriteMem(addr, []byte("x")); e != os2.NoError {
+		t.Fatalf("write: %v", e)
+	}
+	if b, e := p.ReadMem(addr, 1); e != os2.NoError || b[0] != 'x' {
+		t.Fatalf("read: %v %v", b, e)
+	}
+	if e := p.DosFreeMem(addr); e != os2.NoError {
+		t.Fatalf("free: %v", e)
+	}
+	if e := p.DosFreeMem(addr); e != os2.ErrInvalidParameter {
+		t.Fatalf("double free: %v", e)
+	}
+	if _, e := p.DosAllocMem(0, true); e != os2.ErrInvalidParameter {
+		t.Fatalf("zero: %v", e)
+	}
+}
+
+func TestNativePMQueue(t *testing.T) {
+	s, _ := newSys(t)
+	a, _ := s.CreateProcess("a")
+	b, _ := s.CreateProcess("b")
+	if e := a.WinPostMsg(b.PID(), 7, 9); e != os2.NoError {
+		t.Fatalf("post: %v", e)
+	}
+	m, e := b.WinGetMsg(true)
+	if e != os2.NoError || m.Msg != 7 || m.Arg != 9 {
+		t.Fatalf("get: %+v %v", m, e)
+	}
+	if _, e := b.WinGetMsg(false); e != os2.ErrQueueEmpty {
+		t.Fatalf("empty: %v", e)
+	}
+	b.Exit()
+	if e := a.WinPostMsg(b.PID(), 1, 1); e != os2.ErrProcNotFound {
+		t.Fatalf("post to dead: %v", e)
+	}
+}
+
+// TestNativeFileOpCheaperThanWPOS confirms the baseline's reason for
+// existing: one trap beats two RPC round trips for the same logical op.
+func TestNativeFileOpCheaperThanWPOS(t *testing.T) {
+	s, k := newSys(t)
+	p, _ := s.CreateProcess("bench")
+	h, _ := p.DosOpen("/f", true, true)
+	data := make([]byte, 512)
+	p.DosWrite(h, data) // warm
+	base := k.CPU.Counters()
+	const N = 50
+	for i := 0; i < N; i++ {
+		p.DosSetFilePtr(h, 0)
+		p.DosWrite(h, data)
+	}
+	perOp := k.CPU.Counters().Sub(base).Cycles / N
+	t.Logf("native write+seek: %d cycles", perOp)
+	// A single RPC round trip alone costs ~5000+ cycles in the WPOS
+	// stack; native write+seek must come in under two of those.
+	if perOp > 10000 {
+		t.Fatalf("native path suspiciously expensive: %d", perOp)
+	}
+	if vm.PageSize != 4096 {
+		t.Fatal("page size drifted")
+	}
+}
+
+func TestGfxLibCallStaysInUserSpace(t *testing.T) {
+	s, k := newSys(t)
+	p, _ := s.CreateProcess("gfx")
+	p.GfxLibCall(100) // warm
+	base := k.CPU.Counters()
+	p.GfxLibCall(1000)
+	d := k.CPU.Counters().Sub(base)
+	if d.Switches != 0 {
+		t.Fatal("graphics library call must not switch address spaces")
+	}
+	if d.Instructions < 1000 {
+		t.Fatalf("library work not charged: %d", d.Instructions)
+	}
+}

@@ -1,0 +1,104 @@
+package mvm
+
+import "encoding/binary"
+
+// The DOS Protected Mode Interface: MVM "provided multiple DOS and
+// Windows 3.1 environments ... as well as implementing the DOS Protected
+// Mode Interface (DPMI)".  The reproduction implements the memory half
+// that Windows 3.1 actually leaned on: INT 31h extended-memory block
+// allocation, with guest access through handle-indexed load/store
+// instructions (the stand-in for selector-based far addressing).
+
+// IntDPMI is the DPMI software interrupt.
+const IntDPMI = 0x31
+
+// DPMI function codes (in AX).
+const (
+	dpmiAllocExt = 0x0501 // CX = size in bytes; returns handle in AX
+	dpmiFreeExt  = 0x0502 // BX = handle
+	dpmiQueryExt = 0x0500 // returns free bytes in AX (capped at 64K-1)
+)
+
+// ExtMemLimit bounds a VM's total extended memory (1 MiB, the era's
+// "himem" scale).
+const ExtMemLimit = 1 << 20
+
+// dpmiState is a VM's protected-mode memory.
+type dpmiState struct {
+	blocks map[uint16][]byte
+	next   uint16
+	used   int
+	allocs uint64
+	frees  uint64
+}
+
+func newDPMI() *dpmiState {
+	return &dpmiState{blocks: make(map[uint16][]byte), next: 1}
+}
+
+// dpmiTrap services INT 31h after reflection.
+func (v *VM) dpmiTrap() {
+	k := v.srv.k
+	k.CPU.Exec(v.srv.vddPath)
+	if v.dpmi == nil {
+		v.dpmi = newDPMI()
+	}
+	switch v.Regs[AX] {
+	case dpmiAllocExt:
+		size := int(v.Regs[CX])
+		if size == 0 || v.dpmi.used+size > ExtMemLimit || v.dpmi.next == 0xFFFF {
+			v.Regs[AX] = 0xFFFF
+			return
+		}
+		h := v.dpmi.next
+		v.dpmi.next++
+		v.dpmi.blocks[h] = make([]byte, size)
+		v.dpmi.used += size
+		v.dpmi.allocs++
+		v.Regs[AX] = h
+	case dpmiFreeExt:
+		h := v.Regs[BX]
+		b, ok := v.dpmi.blocks[h]
+		if !ok {
+			v.Regs[AX] = 0xFFFF
+			return
+		}
+		v.dpmi.used -= len(b)
+		delete(v.dpmi.blocks, h)
+		v.dpmi.frees++
+		v.Regs[AX] = 0
+	case dpmiQueryExt:
+		free := ExtMemLimit - v.dpmi.used
+		if free > 0xFFFE {
+			free = 0xFFFE
+		}
+		v.Regs[AX] = uint16(free)
+	default:
+		v.Regs[AX] = 0xFFFF
+	}
+}
+
+// DPMIStats reports extended-memory usage.
+func (v *VM) DPMIStats() (blocks int, usedBytes int, allocs, frees uint64) {
+	if v.dpmi == nil {
+		return 0, 0, 0, 0
+	}
+	return len(v.dpmi.blocks), v.dpmi.used, v.dpmi.allocs, v.dpmi.frees
+}
+
+// extAccess performs a 16-bit load or store in an extended block.
+func (v *VM) extAccess(handle uint16, off uint16, r Reg, store bool) error {
+	if v.dpmi == nil {
+		return ErrBadAddress
+	}
+	b, ok := v.dpmi.blocks[handle]
+	if !ok || int(off)+1 >= len(b) {
+		return ErrBadAddress
+	}
+	if store {
+		binary.LittleEndian.PutUint16(b[off:], v.Regs[r])
+	} else {
+		v.Regs[r] = binary.LittleEndian.Uint16(b[off:])
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package mvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// dpmiAllocProgram allocates CX bytes of extended memory, stores AX
+// (value) at ext[handle][DX], loads it back into BX, and halts.
+func dpmiProgram(size, value, offset uint16) []byte {
+	a := NewAsm()
+	a.MovImm(AX, dpmiAllocExt)
+	a.MovImm(CX, size)
+	a.Int(IntDPMI) // AX = handle
+	a.MovReg(CX, AX)
+	a.MovImm(AX, value)
+	a.MovImm(DX, offset)
+	a.StoreX(AX, CX)
+	a.LoadX(BX, CX)
+	a.Hlt()
+	prog, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func TestDPMIAllocStoreLoad(t *testing.T) {
+	r := newRig(t)
+	for _, mode := range []ExecMode{Interpret, Translate} {
+		v, err := r.srv.NewVM("win.exe", mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Load(dpmiProgram(4096, 0xBEEF, 100))
+		if err := v.Run(1000); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if v.Regs[BX] != 0xBEEF {
+			t.Fatalf("mode %d: BX = %#x", mode, v.Regs[BX])
+		}
+		blocks, used, allocs, frees := v.DPMIStats()
+		if blocks != 1 || used != 4096 || allocs != 1 || frees != 0 {
+			t.Fatalf("stats: %d %d %d %d", blocks, used, allocs, frees)
+		}
+	}
+}
+
+func TestDPMIFreeAndUseAfterFree(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("w", Interpret)
+	a := NewAsm()
+	a.MovImm(AX, dpmiAllocExt).MovImm(CX, 512).Int(IntDPMI)
+	a.MovReg(CX, AX) // handle
+	a.MovImm(AX, dpmiFreeExt).MovReg(BX, CX).Int(IntDPMI)
+	a.MovImm(DX, 0)
+	a.LoadX(BX, CX) // use after free -> guest fault
+	a.Hlt()
+	prog, _ := a.Assemble()
+	v.Load(prog)
+	if err := v.Run(1000); err != ErrBadAddress {
+		t.Fatalf("use-after-free err = %v", err)
+	}
+	blocks, used, _, frees := v.DPMIStats()
+	if blocks != 0 || used != 0 || frees != 1 {
+		t.Fatalf("stats after free: %d %d %d", blocks, used, frees)
+	}
+}
+
+func TestDPMIFailurePaths(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("w", Interpret)
+	// Zero-size allocation fails with AX=0xFFFF.
+	a := NewAsm()
+	a.MovImm(AX, dpmiAllocExt).MovImm(CX, 0).Int(IntDPMI).Hlt()
+	prog, _ := a.Assemble()
+	v.Load(prog)
+	v.Run(100)
+	if v.Regs[AX] != 0xFFFF {
+		t.Fatalf("zero alloc AX = %#x", v.Regs[AX])
+	}
+	// Free of a bogus handle fails.
+	b := NewAsm()
+	b.MovImm(AX, dpmiFreeExt).MovImm(BX, 999).Int(IntDPMI).Hlt()
+	prog, _ = b.Assemble()
+	v.Load(prog)
+	v.Run(100)
+	if v.Regs[AX] != 0xFFFF {
+		t.Fatalf("bogus free AX = %#x", v.Regs[AX])
+	}
+	// Unknown DPMI function fails.
+	c := NewAsm()
+	c.MovImm(AX, 0x9999).Int(IntDPMI).Hlt()
+	prog, _ = c.Assemble()
+	v.Load(prog)
+	v.Run(100)
+	if v.Regs[AX] != 0xFFFF {
+		t.Fatalf("unknown fn AX = %#x", v.Regs[AX])
+	}
+	// Out-of-bounds offset faults.
+	d := NewAsm()
+	d.MovImm(AX, dpmiAllocExt).MovImm(CX, 16).Int(IntDPMI)
+	d.MovReg(CX, AX).MovImm(DX, 64)
+	d.LoadX(BX, CX).Hlt()
+	prog, _ = d.Assemble()
+	v.Load(prog)
+	if err := v.Run(100); err != ErrBadAddress {
+		t.Fatalf("oob err = %v", err)
+	}
+}
+
+func TestDPMIQueryFree(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("w", Interpret)
+	a := NewAsm()
+	a.MovImm(AX, dpmiQueryExt).Int(IntDPMI).Hlt()
+	prog, _ := a.Assemble()
+	v.Load(prog)
+	v.Run(100)
+	if v.Regs[AX] != 0xFFFE { // clamped
+		t.Fatalf("free = %#x", v.Regs[AX])
+	}
+}
+
+func TestDPMILimitEnforced(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("hog", Interpret)
+	// Allocate 64000-byte blocks until failure; the 1 MiB limit bounds it.
+	a := NewAsm()
+	a.MovImm(BX, 0) // success counter
+	a.Label("loop")
+	a.MovImm(AX, dpmiAllocExt)
+	a.MovImm(CX, 64000)
+	a.Int(IntDPMI)
+	a.CmpImm(AX, 0xFFFF)
+	a.Jnz("ok")
+	a.Hlt()
+	a.Label("ok")
+	a.Inc(BX)
+	a.Jmp("loop")
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Load(prog)
+	if err := v.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	want := uint16(ExtMemLimit / 64000)
+	if v.Regs[BX] != want {
+		t.Fatalf("allocated %d blocks, want %d", v.Regs[BX], want)
+	}
+}
+
+// Property: interpreter and translator agree on DPMI programs too.
+func TestPropertyDPMIEnginesAgree(t *testing.T) {
+	r := newRig(t)
+	f := func(size, value, off uint16) bool {
+		sz := size%2000 + 16
+		o := off % (sz - 2)
+		vi, _ := r.srv.NewVM("pi", Interpret)
+		vt, _ := r.srv.NewVM("pt", Translate)
+		prog := dpmiProgram(sz, value, o)
+		vi.Load(prog)
+		vt.Load(prog)
+		if vi.Run(1000) != nil || vt.Run(1000) != nil {
+			return false
+		}
+		return vi.Regs == vt.Regs && vi.Regs[BX] == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package mvm implements MVM, the multiple-DOS/Windows environment: a
+// small server plus per-VM machinery that runs guest binaries in their
+// own microkernel tasks, reflects the traps they generate into shared
+// libraries, and uses virtual device drivers to reach the real services.
+// On PowerPC, MVM included an instruction-set translator that converted
+// blocks of Intel instructions for native execution; the reproduction
+// implements both an interpreter and a translating engine with a block
+// cache over a compact synthetic guest ISA (experiment E10).
+package mvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Reg names a guest register.
+type Reg uint8
+
+// Guest registers (16-bit, in the DOS spirit).
+const (
+	AX Reg = iota
+	BX
+	CX
+	DX
+	NumRegs
+)
+
+// Opcodes of the guest ISA.
+const (
+	opMovImm   = 0x01 // MOV r, imm16
+	opMovReg   = 0x02 // MOV r, r2
+	opAdd      = 0x03 // ADD r, r2
+	opSub      = 0x04 // SUB r, r2
+	opLoad     = 0x05 // LOAD r, [addr16]
+	opStore    = 0x06 // STORE [addr16], r
+	opJmp      = 0x07 // JMP addr16
+	opJnz      = 0x08 // JNZ addr16
+	opCmpImm   = 0x09 // CMP r, imm16 (sets Z)
+	opInt      = 0x0A // INT imm8 (software interrupt)
+	opHlt      = 0x0B // HLT
+	opInc      = 0x0C // INC r
+	opDec      = 0x0D // DEC r
+	opLoadIdx  = 0x0E // LOAD r, [r2]
+	opStoreIdx = 0x0F // STORE [r2], r
+	opLoadX    = 0x10 // LOADX r, ext[r2][DX] (DPMI extended memory)
+	opStoreX   = 0x11 // STOREX ext[r2][DX], r
+)
+
+// GuestMemSize is each VM's address space (one DOS arena).
+const GuestMemSize = 64 * 1024
+
+// Errors raised by guest execution.
+var (
+	ErrBadOpcode   = errors.New("mvm: illegal guest instruction")
+	ErrBadAddress  = errors.New("mvm: guest address out of range")
+	ErrNotHalted   = errors.New("mvm: program ran past its end")
+	ErrFuelExhaust = errors.New("mvm: instruction budget exhausted (runaway guest?)")
+)
+
+// Asm builds guest programs.
+type Asm struct {
+	code []byte
+	// labels resolved on Fix.
+	fixups map[int]string
+	labels map[string]uint16
+}
+
+// NewAsm creates an empty program builder.
+func NewAsm() *Asm {
+	return &Asm{fixups: make(map[int]string), labels: make(map[string]uint16)}
+}
+
+func (a *Asm) imm16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	a.code = append(a.code, b[:]...)
+}
+
+// Label marks the current position.
+func (a *Asm) Label(name string) *Asm {
+	a.labels[name] = uint16(len(a.code))
+	return a
+}
+
+func (a *Asm) ref(name string) {
+	a.fixups[len(a.code)] = name
+	a.imm16(0)
+}
+
+// MovImm emits MOV r, imm.
+func (a *Asm) MovImm(r Reg, v uint16) *Asm {
+	a.code = append(a.code, opMovImm, byte(r))
+	a.imm16(v)
+	return a
+}
+
+// MovReg emits MOV r, r2.
+func (a *Asm) MovReg(r, r2 Reg) *Asm {
+	a.code = append(a.code, opMovReg, byte(r), byte(r2))
+	return a
+}
+
+// Add emits ADD r, r2.
+func (a *Asm) Add(r, r2 Reg) *Asm {
+	a.code = append(a.code, opAdd, byte(r), byte(r2))
+	return a
+}
+
+// Sub emits SUB r, r2.
+func (a *Asm) Sub(r, r2 Reg) *Asm {
+	a.code = append(a.code, opSub, byte(r), byte(r2))
+	return a
+}
+
+// Load emits LOAD r, [addr].
+func (a *Asm) Load(r Reg, addr uint16) *Asm {
+	a.code = append(a.code, opLoad, byte(r))
+	a.imm16(addr)
+	return a
+}
+
+// Store emits STORE [addr], r.
+func (a *Asm) Store(addr uint16, r Reg) *Asm {
+	a.code = append(a.code, opStore, byte(r))
+	a.imm16(addr)
+	return a
+}
+
+// LoadIdx emits LOAD r, [r2].
+func (a *Asm) LoadIdx(r, r2 Reg) *Asm {
+	a.code = append(a.code, opLoadIdx, byte(r), byte(r2))
+	return a
+}
+
+// StoreIdx emits STORE [r2], r.
+func (a *Asm) StoreIdx(r, r2 Reg) *Asm {
+	a.code = append(a.code, opStoreIdx, byte(r), byte(r2))
+	return a
+}
+
+// Jmp emits JMP label.
+func (a *Asm) Jmp(label string) *Asm {
+	a.code = append(a.code, opJmp)
+	a.ref(label)
+	return a
+}
+
+// Jnz emits JNZ label.
+func (a *Asm) Jnz(label string) *Asm {
+	a.code = append(a.code, opJnz)
+	a.ref(label)
+	return a
+}
+
+// CmpImm emits CMP r, imm.
+func (a *Asm) CmpImm(r Reg, v uint16) *Asm {
+	a.code = append(a.code, opCmpImm, byte(r))
+	a.imm16(v)
+	return a
+}
+
+// Int emits INT n.
+func (a *Asm) Int(n byte) *Asm {
+	a.code = append(a.code, opInt, n)
+	return a
+}
+
+// Hlt emits HLT.
+func (a *Asm) Hlt() *Asm {
+	a.code = append(a.code, opHlt)
+	return a
+}
+
+// Inc emits INC r.
+func (a *Asm) Inc(r Reg) *Asm {
+	a.code = append(a.code, opInc, byte(r))
+	return a
+}
+
+// Dec emits DEC r.
+func (a *Asm) Dec(r Reg) *Asm {
+	a.code = append(a.code, opDec, byte(r))
+	return a
+}
+
+// LoadX emits LOADX r, ext[hreg][DX].
+func (a *Asm) LoadX(r, hreg Reg) *Asm {
+	a.code = append(a.code, opLoadX, byte(r), byte(hreg))
+	return a
+}
+
+// StoreX emits STOREX ext[hreg][DX], r.
+func (a *Asm) StoreX(r, hreg Reg) *Asm {
+	a.code = append(a.code, opStoreX, byte(r), byte(hreg))
+	return a
+}
+
+// Assemble resolves labels and returns the binary.
+func (a *Asm) Assemble() ([]byte, error) {
+	out := append([]byte(nil), a.code...)
+	for pos, name := range a.fixups {
+		target, ok := a.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("mvm: undefined label %q", name)
+		}
+		binary.LittleEndian.PutUint16(out[pos:], target)
+	}
+	return out, nil
+}

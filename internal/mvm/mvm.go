@@ -1,0 +1,381 @@
+package mvm
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/drivers"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+)
+
+// ExecMode selects the guest execution engine.
+type ExecMode uint8
+
+// Execution engines.
+const (
+	// Interpret decodes every guest instruction (the Intel-host path).
+	Interpret ExecMode = iota
+	// Translate compiles basic blocks and caches them (the PowerPC
+	// path's instruction-set translator).
+	Translate
+)
+
+// DOS interrupt services (a reduced INT 21h).
+const (
+	IntDOS = 0x21
+	// AH values in the high byte of AX.
+	dosPrintChar  = 0x02 // DL (low byte of DX) to console
+	dosCreateFile = 0x3C // DX = name addr (NUL terminated); returns AX = handle
+	dosOpenFile   = 0x3D // DX = name addr; returns AX = handle
+	dosCloseFile  = 0x3E // BX = handle
+	dosWriteFile  = 0x40 // BX = handle, CX = len, DX = addr
+	dosReadFile   = 0x3F // BX = handle, CX = len, DX = addr; AX = bytes read
+	dosExit       = 0x4C
+)
+
+// Server is the MVM server: it creates per-guest tasks and shares the
+// virtual-device plumbing.
+type Server struct {
+	k       *mach.Kernel
+	files   *vfs.Server
+	console *drivers.Console
+
+	reflectPath cpu.Region // trap reflection into the per-VM library
+	vddPath     cpu.Region // virtual device driver body
+
+	mu     sync.Mutex
+	next   int
+	guests map[int]*VM
+}
+
+// NewServer creates the MVM server.
+func NewServer(k *mach.Kernel, files *vfs.Server, console *drivers.Console) *Server {
+	return &Server{
+		k: k, files: files, console: console,
+		reflectPath: k.Layout().PlaceInstr("mvm_trap_reflect", 520),
+		vddPath:     k.Layout().PlaceInstr("mvm_vdd", 450),
+		guests:      make(map[int]*VM),
+	}
+}
+
+// VM is one DOS environment in its own microkernel task.
+type VM struct {
+	srv  *Server
+	id   int
+	task *mach.Task
+	th   *mach.Thread
+	fs   *vfs.Client
+	mode ExecMode
+
+	Mem  [GuestMemSize]byte
+	Regs [NumRegs]uint16
+	IP   uint16
+	Z    bool
+
+	halted bool
+	tc     *transCache
+	dpmi   *dpmiState
+
+	mu      sync.Mutex
+	nextFH  uint16
+	handles map[uint16]*vfs.File
+
+	// Stats.
+	GuestInstrs uint64
+	Traps       uint64
+}
+
+// NewVM boots a guest environment.
+func (s *Server) NewVM(name string, mode ExecMode) (*VM, error) {
+	task := s.k.NewTask("mvm:" + name)
+	th, err := task.NewBoundThread("v86")
+	if err != nil {
+		return nil, err
+	}
+	client, err := s.files.NewClient(th, vfs.ProfileOS2) // DOS ≈ OS/2 semantics
+	if err != nil {
+		return nil, err
+	}
+	v := &VM{
+		srv: s, task: task, th: th, fs: client, mode: mode,
+		handles: make(map[uint16]*vfs.File), nextFH: 5,
+		tc: newTransCache(s.k),
+	}
+	s.mu.Lock()
+	s.next++
+	v.id = s.next
+	s.guests[v.id] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Load places a program at guest address 0 and resets the machine.
+func (v *VM) Load(program []byte) error {
+	if len(program) > GuestMemSize {
+		return ErrBadAddress
+	}
+	for i := range v.Mem {
+		v.Mem[i] = 0
+	}
+	copy(v.Mem[:], program)
+	v.Regs = [NumRegs]uint16{}
+	v.IP = 0
+	v.Z = false
+	v.halted = false
+	return nil
+}
+
+// interpCostPerInstr is the host work to decode and emulate one guest
+// instruction in the interpreter.
+const interpCostPerInstr = 17
+
+// Run executes until HLT or the fuel budget runs out.
+func (v *VM) Run(fuel uint64) error {
+	switch v.mode {
+	case Translate:
+		return v.runTranslated(fuel)
+	default:
+		return v.runInterpreted(fuel)
+	}
+}
+
+func (v *VM) runInterpreted(fuel uint64) error {
+	eng := v.srv.k.CPU
+	for !v.halted {
+		if fuel == 0 {
+			return ErrFuelExhaust
+		}
+		fuel--
+		eng.Instr(interpCostPerInstr)
+		if err := v.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one instruction (shared by the interpreter and the
+// translator's fallback).
+func (v *VM) step() error {
+	if int(v.IP) >= GuestMemSize {
+		return ErrBadAddress
+	}
+	v.GuestInstrs++
+	op := v.Mem[v.IP]
+	switch op {
+	case opMovImm:
+		r := Reg(v.Mem[v.IP+1])
+		v.Regs[r] = binary.LittleEndian.Uint16(v.Mem[v.IP+2:])
+		v.IP += 4
+	case opMovReg:
+		v.Regs[Reg(v.Mem[v.IP+1])] = v.Regs[Reg(v.Mem[v.IP+2])]
+		v.IP += 3
+	case opAdd:
+		r := Reg(v.Mem[v.IP+1])
+		v.Regs[r] += v.Regs[Reg(v.Mem[v.IP+2])]
+		v.Z = v.Regs[r] == 0
+		v.IP += 3
+	case opSub:
+		r := Reg(v.Mem[v.IP+1])
+		v.Regs[r] -= v.Regs[Reg(v.Mem[v.IP+2])]
+		v.Z = v.Regs[r] == 0
+		v.IP += 3
+	case opLoad:
+		r := Reg(v.Mem[v.IP+1])
+		addr := binary.LittleEndian.Uint16(v.Mem[v.IP+2:])
+		v.Regs[r] = binary.LittleEndian.Uint16(v.Mem[addr:])
+		v.IP += 4
+	case opStore:
+		r := Reg(v.Mem[v.IP+1])
+		addr := binary.LittleEndian.Uint16(v.Mem[v.IP+2:])
+		binary.LittleEndian.PutUint16(v.Mem[addr:], v.Regs[r])
+		v.IP += 4
+	case opLoadIdx:
+		r := Reg(v.Mem[v.IP+1])
+		addr := v.Regs[Reg(v.Mem[v.IP+2])]
+		if int(addr)+1 >= GuestMemSize {
+			return ErrBadAddress
+		}
+		v.Regs[r] = binary.LittleEndian.Uint16(v.Mem[addr:])
+		v.IP += 3
+	case opStoreIdx:
+		r := Reg(v.Mem[v.IP+1])
+		addr := v.Regs[Reg(v.Mem[v.IP+2])]
+		if int(addr)+1 >= GuestMemSize {
+			return ErrBadAddress
+		}
+		binary.LittleEndian.PutUint16(v.Mem[addr:], v.Regs[r])
+		v.IP += 3
+	case opLoadX:
+		r := Reg(v.Mem[v.IP+1])
+		h := v.Regs[Reg(v.Mem[v.IP+2])]
+		if err := v.extAccess(h, v.Regs[DX], r, false); err != nil {
+			return err
+		}
+		v.IP += 3
+	case opStoreX:
+		r := Reg(v.Mem[v.IP+1])
+		h := v.Regs[Reg(v.Mem[v.IP+2])]
+		if err := v.extAccess(h, v.Regs[DX], r, true); err != nil {
+			return err
+		}
+		v.IP += 3
+	case opJmp:
+		v.IP = binary.LittleEndian.Uint16(v.Mem[v.IP+1:])
+	case opJnz:
+		if !v.Z {
+			v.IP = binary.LittleEndian.Uint16(v.Mem[v.IP+1:])
+		} else {
+			v.IP += 3
+		}
+	case opCmpImm:
+		r := Reg(v.Mem[v.IP+1])
+		v.Z = v.Regs[r] == binary.LittleEndian.Uint16(v.Mem[v.IP+2:])
+		v.IP += 4
+	case opInc:
+		r := Reg(v.Mem[v.IP+1])
+		v.Regs[r]++
+		v.Z = v.Regs[r] == 0
+		v.IP += 2
+	case opDec:
+		r := Reg(v.Mem[v.IP+1])
+		v.Regs[r]--
+		v.Z = v.Regs[r] == 0
+		v.IP += 2
+	case opInt:
+		n := v.Mem[v.IP+1]
+		v.IP += 2
+		return v.trap(n)
+	case opHlt:
+		v.halted = true
+		v.IP++
+	default:
+		return ErrBadOpcode
+	}
+	return nil
+}
+
+// trap reflects a software interrupt into the per-VM shared library,
+// which dispatches to virtual device drivers — exactly the paper's
+// structure ("the shared libraries handled the traps generated and used
+// virtual device drivers to communicate with the real device drivers").
+func (v *VM) trap(n byte) error {
+	v.Traps++
+	k := v.srv.k
+	k.Trap(v.srv.reflectPath) // kernel reflection to the library
+	if n == IntDPMI {
+		v.dpmiTrap()
+		return nil
+	}
+	if n != IntDOS {
+		return nil // unknown interrupts are ignored, as MVM did for stray vectors
+	}
+	ah := byte(v.Regs[AX] >> 8)
+	switch ah {
+	case dosPrintChar:
+		k.CPU.Exec(v.srv.vddPath)
+		v.srv.console.WriteString(string(rune(byte(v.Regs[DX]))))
+	case dosExit:
+		v.halted = true
+	case dosCreateFile, dosOpenFile:
+		k.CPU.Exec(v.srv.vddPath)
+		name := v.cstring(v.Regs[DX])
+		f, err := v.fs.Open("/"+name, true, ah == dosCreateFile)
+		if err != nil {
+			v.Regs[AX] = 0xFFFF
+			return nil
+		}
+		v.mu.Lock()
+		h := v.nextFH
+		v.nextFH++
+		v.handles[h] = f
+		v.mu.Unlock()
+		v.Regs[AX] = h
+	case dosCloseFile:
+		k.CPU.Exec(v.srv.vddPath)
+		v.mu.Lock()
+		f, ok := v.handles[v.Regs[BX]]
+		delete(v.handles, v.Regs[BX])
+		v.mu.Unlock()
+		if ok {
+			f.Close()
+		}
+	case dosWriteFile:
+		k.CPU.Exec(v.srv.vddPath)
+		v.mu.Lock()
+		f, ok := v.handles[v.Regs[BX]]
+		v.mu.Unlock()
+		if !ok {
+			v.Regs[AX] = 0xFFFF
+			return nil
+		}
+		n := int(v.Regs[CX])
+		addr := int(v.Regs[DX])
+		if addr+n > GuestMemSize {
+			return ErrBadAddress
+		}
+		a, _ := f.Stat()
+		wrote, err := f.WriteAt(v.Mem[addr:addr+n], a.Size)
+		if err != nil {
+			v.Regs[AX] = 0xFFFF
+			return nil
+		}
+		v.Regs[AX] = uint16(wrote)
+	case dosReadFile:
+		k.CPU.Exec(v.srv.vddPath)
+		v.mu.Lock()
+		f, ok := v.handles[v.Regs[BX]]
+		v.mu.Unlock()
+		if !ok {
+			v.Regs[AX] = 0xFFFF
+			return nil
+		}
+		n := int(v.Regs[CX])
+		addr := int(v.Regs[DX])
+		if addr+n > GuestMemSize {
+			return ErrBadAddress
+		}
+		got, err := f.ReadAt(v.Mem[addr:addr+n], 0)
+		if err != nil {
+			v.Regs[AX] = 0xFFFF
+			return nil
+		}
+		v.Regs[AX] = uint16(got)
+	}
+	return nil
+}
+
+// cstring reads a NUL-terminated guest string.
+func (v *VM) cstring(addr uint16) string {
+	end := int(addr)
+	for end < GuestMemSize && v.Mem[end] != 0 {
+		end++
+	}
+	return string(v.Mem[addr:end])
+}
+
+// Halted reports whether the guest executed HLT or exited.
+func (v *VM) Halted() bool { return v.halted }
+
+// Exit tears the VM down.
+func (v *VM) Exit() {
+	v.mu.Lock()
+	for _, f := range v.handles {
+		f.Close()
+	}
+	v.handles = make(map[uint16]*vfs.File)
+	v.mu.Unlock()
+	v.srv.mu.Lock()
+	delete(v.srv.guests, v.id)
+	v.srv.mu.Unlock()
+	v.task.Terminate()
+}
+
+// Guests reports live VM count.
+func (s *Server) Guests() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.guests)
+}

@@ -1,0 +1,339 @@
+package mvm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/drivers"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+)
+
+type rig struct {
+	k       *mach.Kernel
+	srv     *Server
+	console *drivers.Console
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	fsrv, err := vfs.NewServer(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv.Mount("/", vfs.NewMemFS())
+	console := drivers.NewConsole(k.CPU)
+	return &rig{k: k, srv: NewServer(k, fsrv, console), console: console}
+}
+
+// sumProgram computes sum(1..n) into AX, stores it at 0x8000, halts.
+func sumProgram(n uint16) []byte {
+	a := NewAsm()
+	a.MovImm(AX, 0).MovImm(BX, n)
+	a.Label("loop")
+	a.Add(AX, BX)
+	a.Dec(BX)
+	a.CmpImm(BX, 0)
+	a.Jnz("loop")
+	a.Store(0x8000, AX)
+	a.Hlt()
+	prog, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func TestInterpreterSumLoop(t *testing.T) {
+	r := newRig(t)
+	v, err := r.srv.NewVM("sum.com", Interpret)
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	if err := v.Load(sumProgram(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(1 << 20); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !v.Halted() {
+		t.Fatal("not halted")
+	}
+	if v.Regs[AX] != 5050 {
+		t.Fatalf("AX = %d, want 5050", v.Regs[AX])
+	}
+	if got := uint16(v.Mem[0x8000]) | uint16(v.Mem[0x8001])<<8; got != 5050 {
+		t.Fatalf("mem = %d", got)
+	}
+	if v.GuestInstrs == 0 {
+		t.Fatal("no instructions counted")
+	}
+}
+
+func TestTranslatorMatchesInterpreter(t *testing.T) {
+	r := newRig(t)
+	vi, _ := r.srv.NewVM("i", Interpret)
+	vt, _ := r.srv.NewVM("t", Translate)
+	prog := sumProgram(250)
+	vi.Load(prog)
+	vt.Load(prog)
+	if err := vi.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := vt.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if vi.Regs != vt.Regs {
+		t.Fatalf("register mismatch: %v vs %v", vi.Regs, vt.Regs)
+	}
+	if vi.Mem != vt.Mem {
+		t.Fatal("memory mismatch")
+	}
+	hits, misses, translated := vt.TranslatorStats()
+	t.Logf("translator: hits=%d misses=%d translated=%d", hits, misses, translated)
+	if misses == 0 || hits == 0 {
+		t.Fatal("expected both cold translations and cache hits")
+	}
+	if hits < misses*10 {
+		t.Fatalf("a hot loop should be cache-hit dominated: %d/%d", hits, misses)
+	}
+}
+
+// TestTranslatedFasterWhenHot is E10: once the translation cache is warm
+// the translated engine beats the interpreter; the first run pays the
+// translation cost.
+func TestTranslatedFasterWhenHot(t *testing.T) {
+	r := newRig(t)
+	prog := sumProgram(2000)
+
+	vi, _ := r.srv.NewVM("i", Interpret)
+	vi.Load(prog)
+	base := r.k.CPU.Counters()
+	vi.Run(1 << 24)
+	interp := r.k.CPU.Counters().Sub(base).Cycles
+
+	vt, _ := r.srv.NewVM("t", Translate)
+	vt.Load(prog)
+	base = r.k.CPU.Counters()
+	vt.Run(1 << 24)
+	cold := r.k.CPU.Counters().Sub(base).Cycles
+
+	// Second run reuses the cache (same VM, reloaded program state but
+	// identical text at the same addresses).
+	vt.Load(prog)
+	base = r.k.CPU.Counters()
+	vt.Run(1 << 24)
+	hot := r.k.CPU.Counters().Sub(base).Cycles
+
+	t.Logf("cycles: interpreted=%d translated(cold)=%d translated(hot)=%d speedup=%.1fx",
+		interp, cold, hot, float64(interp)/float64(hot))
+	if hot >= interp {
+		t.Fatalf("hot translated should beat interpreter: %d vs %d", hot, interp)
+	}
+	if cold <= hot {
+		t.Fatal("cold run should include translation cost")
+	}
+}
+
+func TestDOSPrintChar(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("hello.com", Interpret)
+	a := NewAsm()
+	for _, ch := range "DOS!" {
+		a.MovImm(AX, uint16(dosPrintChar)<<8)
+		a.MovImm(DX, uint16(ch))
+		a.Int(IntDOS)
+	}
+	a.MovImm(AX, uint16(dosExit)<<8).Int(IntDOS)
+	prog, _ := a.Assemble()
+	v.Load(prog)
+	if err := v.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if r.console.Contents() != "DOS!" {
+		t.Fatalf("console = %q", r.console.Contents())
+	}
+	if v.Traps != 5 {
+		t.Fatalf("traps = %d", v.Traps)
+	}
+}
+
+func TestDOSFileIO(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("filer.com", Interpret)
+	a := NewAsm()
+	// Name "OUT.TXT\0" at 0x100; data "hi" at 0x200.
+	a.MovImm(AX, uint16(dosCreateFile)<<8)
+	a.MovImm(DX, 0x100)
+	a.Int(IntDOS)
+	a.MovReg(BX, AX) // handle
+	a.MovImm(AX, uint16(dosWriteFile)<<8)
+	a.MovImm(CX, 2)
+	a.MovImm(DX, 0x200)
+	a.Int(IntDOS)
+	a.MovImm(AX, uint16(dosCloseFile)<<8)
+	a.Int(IntDOS)
+	a.Hlt()
+	prog, _ := a.Assemble()
+	v.Load(prog)
+	copy(v.Mem[0x100:], []byte("OUT.TXT\x00"))
+	copy(v.Mem[0x200:], []byte("hi"))
+	if err := v.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Verify through the file server.
+	app := r.k.NewTask("checker")
+	th, _ := app.NewBoundThread("main")
+	c, _ := r.srv.files.NewClient(th, vfs.ProfileOS2)
+	attr, err := c.Stat("/OUT.TXT")
+	if err != nil || attr.Size != 2 {
+		t.Fatalf("file: %+v %v", attr, err)
+	}
+
+	// Read it back from a second guest.
+	v2, _ := r.srv.NewVM("reader.com", Interpret)
+	b := NewAsm()
+	b.MovImm(AX, uint16(dosOpenFile)<<8)
+	b.MovImm(DX, 0x100)
+	b.Int(IntDOS)
+	b.MovReg(BX, AX)
+	b.MovImm(AX, uint16(dosReadFile)<<8)
+	b.MovImm(CX, 2)
+	b.MovImm(DX, 0x300)
+	b.Int(IntDOS)
+	b.Hlt()
+	prog2, _ := b.Assemble()
+	v2.Load(prog2)
+	copy(v2.Mem[0x100:], []byte("OUT.TXT\x00"))
+	if err := v2.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if string(v2.Mem[0x300:0x302]) != "hi" {
+		t.Fatalf("guest read %q", v2.Mem[0x300:0x302])
+	}
+	if v2.Regs[AX] != 2 {
+		t.Fatalf("AX = %d", v2.Regs[AX])
+	}
+}
+
+func TestMultipleConcurrentGuests(t *testing.T) {
+	r := newRig(t)
+	var vms []*VM
+	for i := 0; i < 4; i++ {
+		v, err := r.srv.NewVM("multi", Interpret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Load(sumProgram(uint16(10 * (i + 1))))
+		vms = append(vms, v)
+	}
+	if r.srv.Guests() != 4 {
+		t.Fatalf("guests = %d", r.srv.Guests())
+	}
+	want := []uint16{55, 210, 465, 820}
+	for i, v := range vms {
+		if err := v.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if v.Regs[AX] != want[i] {
+			t.Fatalf("vm %d: AX = %d want %d", i, v.Regs[AX], want[i])
+		}
+	}
+	vms[0].Exit()
+	if r.srv.Guests() != 3 {
+		t.Fatalf("guests after exit = %d", r.srv.Guests())
+	}
+}
+
+func TestRunawayGuestFuel(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("spin", Interpret)
+	a := NewAsm()
+	a.Label("spin").Jmp("spin")
+	prog, _ := a.Assemble()
+	v.Load(prog)
+	if err := v.Run(1000); err != ErrFuelExhaust {
+		t.Fatalf("err = %v", err)
+	}
+	// Same guard on the translated engine.
+	vt, _ := r.srv.NewVM("spin-t", Translate)
+	vt.Load(prog)
+	if err := vt.Run(1000); err != ErrFuelExhaust {
+		t.Fatalf("translated err = %v", err)
+	}
+}
+
+func TestIllegalOpcode(t *testing.T) {
+	r := newRig(t)
+	v, _ := r.srv.NewVM("bad", Interpret)
+	v.Load([]byte{0xEE})
+	if err := v.Run(10); err != ErrBadOpcode {
+		t.Fatalf("err = %v", err)
+	}
+	vt, _ := r.srv.NewVM("bad-t", Translate)
+	vt.Load([]byte{0xEE})
+	if err := vt.Run(10); err != ErrBadOpcode {
+		t.Fatalf("translated err = %v", err)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	a := NewAsm()
+	a.Jmp("nowhere")
+	if _, err := a.Assemble(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v", err)
+	}
+	v := &VM{}
+	if err := v.Load(make([]byte, GuestMemSize+1)); err != ErrBadAddress {
+		t.Fatalf("oversized load: %v", err)
+	}
+}
+
+// Property: interpreter and translator compute identical machine state
+// for arbitrary arithmetic programs.
+func TestPropertyEnginesAgree(t *testing.T) {
+	r := newRig(t)
+	f := func(seed []uint16) bool {
+		a := NewAsm()
+		a.MovImm(AX, 1).MovImm(BX, 3).MovImm(CX, 7)
+		for i, s := range seed {
+			if i >= 30 {
+				break
+			}
+			switch s % 6 {
+			case 0:
+				a.Add(AX, BX)
+			case 1:
+				a.Sub(BX, CX)
+			case 2:
+				a.Inc(CX)
+			case 3:
+				a.Dec(AX)
+			case 4:
+				a.MovImm(DX, s)
+				a.Add(AX, DX)
+			case 5:
+				a.Store(0x7000+(s%64)*2, AX)
+			}
+		}
+		a.Hlt()
+		prog, err := a.Assemble()
+		if err != nil {
+			return false
+		}
+		vi, _ := r.srv.NewVM("pi", Interpret)
+		vt, _ := r.srv.NewVM("pt", Translate)
+		vi.Load(prog)
+		vt.Load(prog)
+		if vi.Run(1<<20) != nil || vt.Run(1<<20) != nil {
+			return false
+		}
+		return vi.Regs == vt.Regs && vi.Mem == vt.Mem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package mvm
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/mach"
+)
+
+// The instruction-set translator: on PowerPC, MVM "included the
+// instruction set translator that translated blocks of Intel instructions
+// to PowerPC instructions for execution".  The engine scans a basic block
+// (up to a control transfer or trap), pays a one-time translation cost
+// per guest instruction, caches the result keyed by the block's start
+// address, and thereafter executes blocks at near-native cost.
+
+// Translation cost model.
+const (
+	// translateCostPerInstr is the host work to translate one guest
+	// instruction (decode, register map, emit).
+	translateCostPerInstr = 90
+	// nativeCostPerInstr is the amortized host cost of running one
+	// translated guest instruction.
+	nativeCostPerInstr = 2
+	// dispatchCost is the per-block cache lookup and indirect jump.
+	dispatchCost = 10
+)
+
+// transBlock is one translated basic block.
+type transBlock struct {
+	start  uint16
+	nInstr uint64
+	region cpu.Region
+}
+
+// transCache maps block start address to translation.
+type transCache struct {
+	k      *mach.Kernel
+	blocks map[uint16]*transBlock
+
+	// Stats for the E10 sweep.
+	Hits       uint64
+	Misses     uint64
+	Translated uint64 // guest instructions translated
+}
+
+func newTransCache(k *mach.Kernel) *transCache {
+	return &transCache{k: k, blocks: make(map[uint16]*transBlock)}
+}
+
+// instrLen returns the byte length of the instruction at p, and whether
+// it ends a basic block.
+func instrLen(op byte) (int, bool, error) {
+	switch op {
+	case opMovImm, opLoad, opStore, opCmpImm:
+		return 4, false, nil
+	case opMovReg, opAdd, opSub, opLoadIdx, opStoreIdx, opLoadX, opStoreX:
+		return 3, false, nil
+	case opInc, opDec:
+		return 2, false, nil
+	case opJmp, opJnz:
+		return 3, true, nil
+	case opInt:
+		return 2, true, nil
+	case opHlt:
+		return 1, true, nil
+	default:
+		return 0, false, ErrBadOpcode
+	}
+}
+
+// translate scans the block at start and pays the translation cost.
+func (tc *transCache) translate(v *VM, start uint16) (*transBlock, error) {
+	ip := int(start)
+	n := uint64(0)
+	for {
+		if ip >= GuestMemSize {
+			return nil, ErrBadAddress
+		}
+		l, ends, err := instrLen(v.Mem[ip])
+		if err != nil {
+			return nil, err
+		}
+		n++
+		ip += l
+		if ends {
+			break
+		}
+	}
+	tc.k.CPU.Instr(n * translateCostPerInstr)
+	tc.Translated += n
+	b := &transBlock{
+		start:  start,
+		nInstr: n,
+		// Translated code occupies real I-cache space: ~3 host
+		// instructions of text per guest instruction.
+		region: tc.k.Layout().PlaceInstr("mvm_tblock", n*3),
+	}
+	tc.blocks[start] = b
+	return b, nil
+}
+
+// Stats returns cache hit/miss/translated counters.
+func (v *VM) TranslatorStats() (hits, misses, translated uint64) {
+	return v.tc.Hits, v.tc.Misses, v.tc.Translated
+}
+
+// runTranslated executes via the block cache.  Semantics are identical
+// to the interpreter: each block's effects are applied by stepping the
+// same instruction definitions, but the *cost* charged is the translated
+// cost, which is the whole point of the engine.
+func (v *VM) runTranslated(fuel uint64) error {
+	eng := v.srv.k.CPU
+	for !v.halted {
+		start := v.IP
+		b, ok := v.tc.blocks[start]
+		if !ok {
+			v.tc.Misses++
+			var err error
+			b, err = v.tc.translate(v, start)
+			if err != nil {
+				return err
+			}
+		} else {
+			v.tc.Hits++
+		}
+		eng.Instr(dispatchCost)
+		if fuel < b.nInstr {
+			return ErrFuelExhaust
+		}
+		fuel -= b.nInstr
+		// Native execution of the block: charge its translated text
+		// and per-instruction cost, then apply the semantics.
+		eng.Exec(b.region)
+		eng.Instr(b.nInstr * nativeCostPerInstr)
+		for i := uint64(0); i < b.nInstr && !v.halted; i++ {
+			if err := v.step(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

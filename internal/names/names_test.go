@@ -1,0 +1,281 @@
+package names
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mach"
+)
+
+func newSvc() (*Service, *cpu.Engine) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	return NewService(eng, cpu.NewLayout(0x400000)), eng
+}
+
+func TestBindLookup(t *testing.T) {
+	s, _ := newSvc()
+	b := Binding{Port: mach.PortName(7)}
+	if err := s.Bind("/servers/files", b); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	got, err := s.Lookup("/servers/files")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got.Port != 7 {
+		t.Fatalf("port = %d", got.Port)
+	}
+}
+
+func TestBindDuplicate(t *testing.T) {
+	s, _ := newSvc()
+	s.Bind("/a", Binding{})
+	if err := s.Bind("/a", Binding{}); err != ErrExists {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	s, _ := newSvc()
+	s.Bind("/servers/files", Binding{})
+	cases := []struct {
+		path string
+		err  error
+	}{
+		{"/nope", ErrNotFound},
+		{"/servers", ErrIsContext},
+		{"/servers/files/deeper", ErrNotContext},
+		{"relative", ErrBadName},
+		{"", ErrBadName},
+		{"//double", ErrBadName},
+	}
+	for _, c := range cases {
+		if _, err := s.Lookup(c.path); err != c.err {
+			t.Errorf("Lookup(%q) err = %v, want %v", c.path, err, c.err)
+		}
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	s, _ := newSvc()
+	s.Bind("/a/b", Binding{})
+	if err := s.Unbind("/a/b"); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	if _, err := s.Lookup("/a/b"); err != ErrNotFound {
+		t.Fatalf("after unbind err = %v", err)
+	}
+	if err := s.Unbind("/a/b"); err != ErrNotFound {
+		t.Fatalf("double unbind err = %v", err)
+	}
+	if err := s.Unbind("/a"); err != ErrIsContext {
+		t.Fatalf("unbind context err = %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s, _ := newSvc()
+	s.Bind("/servers/files", Binding{})
+	s.Bind("/servers/net", Binding{})
+	s.Bind("/servers/aaa", Binding{})
+	got, err := s.List("/servers")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []string{"aaa", "files", "net"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestAttributesAndSearch(t *testing.T) {
+	s, _ := newSvc()
+	s.Bind("/dev/disk0", Binding{Attrs: []Attr{{"class", "block"}}})
+	s.Bind("/dev/disk1", Binding{Attrs: []Attr{{"class", "block"}}})
+	s.Bind("/dev/tty0", Binding{Attrs: []Attr{{"class", "char"}}})
+	s.SetAttr("/dev/disk1", "removable", "yes")
+
+	blocks, err := s.Search("/", "class", "block")
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	rm, _ := s.Search("/dev", "removable", "")
+	if len(rm) != 1 || rm[0] != "/dev/disk1" {
+		t.Fatalf("removable = %v", rm)
+	}
+	// Attribute replacement.
+	s.SetAttr("/dev/disk1", "removable", "no")
+	b, _ := s.Lookup("/dev/disk1")
+	found := false
+	for _, a := range b.Attrs {
+		if a.Key == "removable" && a.Value == "no" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("attr not replaced: %v", b.Attrs)
+	}
+}
+
+func TestNotifications(t *testing.T) {
+	s, _ := newSvc()
+	ch := s.Watch()
+	s.Bind("/x", Binding{})
+	s.SetAttr("/x", "k", "v")
+	s.Unbind("/x")
+	want := []EventKind{EventBind, EventModify, EventUnbind}
+	for i, k := range want {
+		ev := <-ch
+		if ev.Kind != k || ev.Path != "/x" {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestSimpleService(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	s := NewSimpleService(eng, cpu.NewLayout(0x500000))
+	if err := s.Bind("files", Binding{Port: 3}); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := s.Bind("files", Binding{}); err != ErrExists {
+		t.Fatalf("dup err = %v", err)
+	}
+	if err := s.Bind("", Binding{}); err != ErrBadName {
+		t.Fatalf("empty err = %v", err)
+	}
+	b, err := s.Lookup("files")
+	if err != nil || b.Port != 3 {
+		t.Fatalf("Lookup: %v %v", b, err)
+	}
+	if _, err := s.Lookup("nope"); err != ErrNotFound {
+		t.Fatalf("missing err = %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if err := s.Unbind("files"); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	if err := s.Unbind("files"); err != ErrNotFound {
+		t.Fatalf("double unbind err = %v", err)
+	}
+}
+
+// TestSimplifiedServiceIsCheaper is experiment E5's core assertion: the
+// Release 2 simplified service costs far less per lookup than the
+// X.500-style service, and the gap grows with directory depth.
+func TestSimplifiedServiceIsCheaper(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	layout := cpu.NewLayout(0x400000)
+	full := NewService(eng, layout)
+	simple := NewSimpleService(eng, layout)
+
+	full.Bind("/servers/personality/os2/files", Binding{Port: 1})
+	simple.Bind("os2-files", Binding{Port: 1})
+
+	// Warm.
+	full.Lookup("/servers/personality/os2/files")
+	simple.Lookup("os2-files")
+
+	const N = 100
+	base := eng.Counters()
+	for i := 0; i < N; i++ {
+		full.Lookup("/servers/personality/os2/files")
+	}
+	fullCycles := eng.Counters().Sub(base).Cycles
+
+	base = eng.Counters()
+	for i := 0; i < N; i++ {
+		simple.Lookup("os2-files")
+	}
+	simpleCycles := eng.Counters().Sub(base).Cycles
+
+	ratio := float64(fullCycles) / float64(simpleCycles)
+	t.Logf("full=%d cycles/lookup simple=%d cycles/lookup ratio=%.1f",
+		fullCycles/N, simpleCycles/N, ratio)
+	if ratio < 5 {
+		t.Fatalf("full service should be >=5x the simple service, got %.1fx", ratio)
+	}
+}
+
+// Property: any set of distinct flat names binds and resolves in the
+// simple service.
+func TestPropertySimpleBindResolve(t *testing.T) {
+	f := func(names []string) bool {
+		eng := cpu.NewEngine(cpu.Pentium133())
+		s := NewSimpleService(eng, cpu.NewLayout(0x500000))
+		seen := make(map[string]bool)
+		for i, n := range names {
+			if n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			if err := s.Bind(n, Binding{Port: mach.PortName(i + 1)}); err != nil {
+				return false
+			}
+		}
+		for n := range seen {
+			if _, err := s.Lookup(n); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bind then Unbind always restores lookup failure, for any
+// valid two-component path.
+func TestPropertyBindUnbindInverse(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s, _ := newSvc()
+		path := fmt.Sprintf("/c%d/n%d", a%8, b%8)
+		if err := s.Bind(path, Binding{}); err != nil {
+			return false
+		}
+		if _, err := s.Lookup(path); err != nil {
+			return false
+		}
+		if err := s.Unbind(path); err != nil {
+			return false
+		}
+		_, err := s.Lookup(path)
+		return err == ErrNotFound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowWatcherDoesNotBlockService(t *testing.T) {
+	s, _ := newSvc()
+	s.Watch() // never drained
+	// More events than the watcher buffer holds must not block Bind.
+	for i := 0; i < 200; i++ {
+		if err := s.Bind(fmt.Sprintf("/burst/n%d", i), Binding{}); err != nil {
+			t.Fatalf("bind %d: %v", i, err)
+		}
+	}
+	if _, err := s.Lookup("/burst/n199"); err != nil {
+		t.Fatalf("service wedged by slow watcher: %v", err)
+	}
+}
+
+func TestListErrorsOnLeaf(t *testing.T) {
+	s, _ := newSvc()
+	s.Bind("/leaf", Binding{})
+	if _, err := s.List("/leaf"); err != ErrNotContext {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.List("/missing"); err != ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+}

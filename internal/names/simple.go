@@ -1,0 +1,77 @@
+package names
+
+import (
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// SimpleService is the alternative, much simplified name service that
+// Release 2 of the IBM Microkernel added for embedded configurations: a
+// flat table of names with no attributes, no hierarchy, no search and no
+// notifications.  Its lookup path is an order of magnitude leaner than
+// the X.500-style service's, which is the point of experiment E5.
+type SimpleService struct {
+	eng      *cpu.Engine
+	lookupOp cpu.Region
+	bindOp   cpu.Region
+
+	mu    sync.Mutex
+	table map[string]Binding
+}
+
+// NewSimpleService creates an empty flat name table.
+func NewSimpleService(eng *cpu.Engine, layout *cpu.Layout) *SimpleService {
+	return &SimpleService{
+		eng:      eng,
+		lookupOp: layout.PlaceInstr("sns_lookup", 80),
+		bindOp:   layout.PlaceInstr("sns_bind", 120),
+		table:    make(map[string]Binding),
+	}
+}
+
+// Bind installs a flat name.
+func (s *SimpleService) Bind(name string, b Binding) error {
+	if name == "" {
+		return ErrBadName
+	}
+	s.eng.Exec(s.bindOp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.table[name]; ok {
+		return ErrExists
+	}
+	s.table[name] = b
+	return nil
+}
+
+// Lookup resolves a flat name.
+func (s *SimpleService) Lookup(name string) (Binding, error) {
+	s.eng.Exec(s.lookupOp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.table[name]
+	if !ok {
+		return Binding{}, ErrNotFound
+	}
+	return b, nil
+}
+
+// Unbind removes a flat name.
+func (s *SimpleService) Unbind(name string) error {
+	s.eng.Exec(s.bindOp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.table[name]; !ok {
+		return ErrNotFound
+	}
+	delete(s.table, name)
+	return nil
+}
+
+// Len reports the number of bound names.
+func (s *SimpleService) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}

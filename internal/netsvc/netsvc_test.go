@@ -1,0 +1,210 @@
+package netsvc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/drivers"
+	"repro/internal/iosys"
+)
+
+// pair builds two cross-connected stacks.
+func pair(t testing.TB, mode Mode) (*Stack, *Stack, *cpu.Engine) {
+	t.Helper()
+	eng := cpu.NewEngine(cpu.Pentium133())
+	l := cpu.NewLayout(0xB00000)
+	intr := iosys.NewInterruptController(eng, l, 8)
+	na := drivers.NewNIC(eng, intr, 1, "en0")
+	nb := drivers.NewNIC(eng, intr, 2, "en1")
+	drivers.Connect(na, nb)
+	sa, err := NewStack(eng, l, na, "hostA", mode)
+	if err != nil {
+		t.Fatalf("stack a: %v", err)
+	}
+	sb, err := NewStack(eng, l, nb, "hostB", mode)
+	if err != nil {
+		t.Fatalf("stack b: %v", err)
+	}
+	return sa, sb, eng
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	sa, sb, _ := pair(t, FineGrained)
+	epA, err := sa.Bind(1000)
+	if err != nil {
+		t.Fatalf("bind a: %v", err)
+	}
+	epB, err := sb.Bind(2000)
+	if err != nil {
+		t.Fatalf("bind b: %v", err)
+	}
+	msg := []byte("workplace os networking")
+	if err := epA.SendTo("hostB", 2000, msg); err != nil {
+		t.Fatalf("SendTo: %v", err)
+	}
+	if n := sb.Pump(); n != 1 {
+		t.Fatalf("pump delivered %d", n)
+	}
+	got, err := epB.Recv()
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("Recv: %q %v", got, err)
+	}
+	if _, err := epB.Recv(); err != ErrQueueEmpty {
+		t.Fatalf("empty queue err = %v", err)
+	}
+	// Reply path.
+	if err := epB.SendTo("hostA", 1000, []byte("ack")); err != nil {
+		t.Fatalf("reply: %v", err)
+	}
+	sa.Pump()
+	if got, _ := epA.Recv(); string(got) != "ack" {
+		t.Fatalf("ack = %q", got)
+	}
+}
+
+func TestPortSemantics(t *testing.T) {
+	sa, sb, _ := pair(t, Coarse)
+	if _, err := sa.Bind(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Bind(7); err != ErrPortBound {
+		t.Fatalf("double bind err = %v", err)
+	}
+	if err := sa.Unbind(9); err != ErrNotBound {
+		t.Fatalf("unbind unbound err = %v", err)
+	}
+	if err := sa.Unbind(7); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	// Datagram to an unbound port is dropped and counted.
+	epB, _ := sb.Bind(1)
+	epB.SendTo("hostA", 4242, []byte("nobody home"))
+	sa.Pump()
+	_, _, dropped := sa.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestChecksumRejectsCorruption(t *testing.T) {
+	sa, sb, _ := pair(t, Coarse)
+	epA, _ := sa.Bind(10)
+	sb.Bind(20)
+	epA.SendTo("hostB", 20, []byte("pristine"))
+	// Corrupt the frame in flight by re-sending a doctored copy through
+	// the raw NIC: easier — craft a frame directly.
+	frame := make([]byte, 8+4)
+	binary.LittleEndian.PutUint16(frame[0:2], 20)
+	binary.LittleEndian.PutUint16(frame[4:6], 4)
+	binary.LittleEndian.PutUint16(frame[6:8], 0xBEEF) // wrong checksum
+	copy(frame[8:], "zap!")
+	if err := sb.deliver(driversFrame(frame)); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+	// Truncated frame.
+	if err := sb.deliver(driversFrame([]byte{1, 2})); err != ErrBadFrame {
+		t.Fatalf("short err = %v", err)
+	}
+	// Length mismatch.
+	bad := make([]byte, 8+10)
+	binary.LittleEndian.PutUint16(bad[4:6], 3)
+	if err := sb.deliver(driversFrame(bad)); err != ErrBadFrame {
+		t.Fatalf("len err = %v", err)
+	}
+	// The good one still arrives.
+	if n := sb.Pump(); n != 1 {
+		t.Fatalf("pump = %d", n)
+	}
+}
+
+func driversFrame(b []byte) (f drivers.Frame) {
+	f.Payload = b
+	return
+}
+
+func TestPayloadLimit(t *testing.T) {
+	sa, _, _ := pair(t, Coarse)
+	ep, _ := sa.Bind(5)
+	if err := ep.SendTo("hostB", 5, make([]byte, MaxPayload+1)); err != ErrPayloadLimit {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFineGrainedCostsMore is E6 on the networking path: the Taligent
+// fine-grained stack pays more cycles per datagram than the MK++-style
+// coarse stack for identical protocol work.
+func TestFineGrainedCostsMore(t *testing.T) {
+	cost := func(mode Mode) uint64 {
+		sa, sb, eng := pair(t, mode)
+		epA, _ := sa.Bind(1)
+		sb.Bind(2)
+		payload := make([]byte, 256)
+		for i := 0; i < 10; i++ {
+			epA.SendTo("hostB", 2, payload)
+			sb.Pump()
+		}
+		const N = 50
+		base := eng.Counters()
+		for i := 0; i < N; i++ {
+			epA.SendTo("hostB", 2, payload)
+			sb.Pump()
+		}
+		return eng.Counters().Sub(base).Cycles / N
+	}
+	fine := cost(FineGrained)
+	coarse := cost(Coarse)
+	t.Logf("cycles/datagram: fine-grained=%d coarse=%d ratio=%.2f",
+		fine, coarse, float64(fine)/float64(coarse))
+	if fine <= coarse {
+		t.Fatalf("fine-grained must cost more: %d vs %d", fine, coarse)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sa, sb, _ := pair(t, Coarse)
+	epA, _ := sa.Bind(1)
+	sb.Bind(2)
+	for i := 0; i < 5; i++ {
+		epA.SendTo("hostB", 2, []byte{byte(i)})
+	}
+	sb.Pump()
+	sent, _, _ := sa.Stats()
+	_, delivered, _ := sb.Stats()
+	if sent != 5 || delivered != 5 {
+		t.Fatalf("sent=%d delivered=%d", sent, delivered)
+	}
+}
+
+// Property: any payload (within limits) survives the stack round trip
+// bit-exactly, in both modes.
+func TestPropertyPayloadFidelity(t *testing.T) {
+	samF, sbmF, _ := pair(t, FineGrained)
+	epAF, _ := samF.Bind(1)
+	epBF, _ := sbmF.Bind(2)
+	samC, sbmC, _ := pair(t, Coarse)
+	epAC, _ := samC.Bind(1)
+	epBC, _ := sbmC.Bind(2)
+	f := func(payload []byte, fine bool) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		epA, epB, dst := epAC, epBC, sbmC
+		if fine {
+			epA, epB, dst = epAF, epBF, sbmF
+		}
+		if err := epA.SendTo(dst.Addr(), 2, payload); err != nil {
+			return false
+		}
+		if dst.Pump() != 1 {
+			return false
+		}
+		got, err := epB.Recv()
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package objsys simulates the Taligent-style C++ object system whose
+// cost the paper evaluates: complex class hierarchies with extensive
+// subclassing, a very large number of very short virtual methods, frozen
+// class structure, per-class metadata (vtables, RTTI) and stateful
+// wrapper classes over kernel interfaces.
+//
+// Each class's method bodies are code regions placed independently, so a
+// deep hierarchy's dispatch chain scatters across the I-cache exactly the
+// way the paper complains about; virtual dispatch charges a vtable load
+// and an indirect branch.  The MK++-style alternative — few virtuals,
+// aggressive inlining, coarse objects — is modeled by Freeze, which
+// collapses a dispatch chain into a single straight-line region.
+package objsys
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// Errors returned by the object system.
+var (
+	ErrNoClass      = errors.New("objsys: no such class")
+	ErrDupClass     = errors.New("objsys: class already defined")
+	ErrNoMethod     = errors.New("objsys: method not found in hierarchy")
+	ErrFrozen       = errors.New("objsys: hierarchy frozen; class structure is fixed in library code")
+	ErrNotFlattened = errors.New("objsys: chain not flattened")
+)
+
+// DispatchCycles is the pipeline cost of one virtual call: vtable load,
+// indirect branch and the likely misprediction on a 90s in-order core.
+const DispatchCycles = 9
+
+// Method is one virtual method: an instruction count realized as a
+// private code region of its defining class.
+type Method struct {
+	Name   string
+	region cpu.Region
+}
+
+// Class is a node in the hierarchy.
+type Class struct {
+	Name    string
+	Parent  *Class
+	Depth   int
+	methods map[string]*Method
+	// vtableAddr is where this class's vtable lives, for D-cache
+	// accounting on dispatch.
+	vtableAddr uint64
+	// MetadataBytes models vtable + RTTI + runtime bookkeeping.
+	MetadataBytes uint64
+}
+
+// Object is an instance.
+type Object struct {
+	Class *Class
+	// State is the instance data; stateful wrappers grow it.
+	State map[string]uint64
+}
+
+// Hierarchy owns a set of classes charging to one engine.
+type Hierarchy struct {
+	eng    *cpu.Engine
+	layout *cpu.Layout
+
+	mu      sync.Mutex
+	classes map[string]*Class
+	frozen  bool
+	vtNext  uint64
+
+	dispatches uint64
+	flattened  map[string]cpu.Region
+}
+
+// NewHierarchy creates an empty hierarchy.
+func NewHierarchy(eng *cpu.Engine, layout *cpu.Layout) *Hierarchy {
+	return &Hierarchy{
+		eng:       eng,
+		layout:    layout,
+		classes:   make(map[string]*Class),
+		vtNext:    0x5000_0000,
+		flattened: make(map[string]cpu.Region),
+	}
+}
+
+// DefineClass adds a class.  methods maps method name to body instruction
+// count; each body gets its own code region.  parent may be "" for a
+// root.  Fails once the hierarchy is frozen — C++ "effectively froze the
+// class structure in library code with the initial version".
+func (h *Hierarchy) DefineClass(name, parent string, methods map[string]uint64) (*Class, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.frozen {
+		return nil, ErrFrozen
+	}
+	if _, ok := h.classes[name]; ok {
+		return nil, ErrDupClass
+	}
+	var p *Class
+	if parent != "" {
+		var ok bool
+		p, ok = h.classes[parent]
+		if !ok {
+			return nil, ErrNoClass
+		}
+	}
+	c := &Class{Name: name, Parent: p, methods: make(map[string]*Method), vtableAddr: h.vtNext}
+	h.vtNext += 256
+	if p != nil {
+		c.Depth = p.Depth + 1
+	}
+	var text uint64
+	for mname, instr := range methods {
+		r := h.layout.PlaceInstr("objsys:"+name+"::"+mname, instr)
+		c.methods[mname] = &Method{Name: mname, region: r}
+		text += r.Size
+	}
+	// vtable entries + RTTI + ctor/dtor glue.
+	c.MetadataBytes = 64 + 16*uint64(len(methods)) + 32*uint64(c.Depth+1)
+	h.classes[name] = c
+	return c, nil
+}
+
+// Freeze fixes the class structure (shipping the library).
+func (h *Hierarchy) Freeze() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.frozen = true
+}
+
+// New instantiates a class.
+func (h *Hierarchy) New(className string) (*Object, error) {
+	h.mu.Lock()
+	c, ok := h.classes[className]
+	h.mu.Unlock()
+	if !ok {
+		return nil, ErrNoClass
+	}
+	// Construction runs every constructor up the chain: one dispatch
+	// and a little work per ancestor.
+	for cl := c; cl != nil; cl = cl.Parent {
+		h.chargeDispatch(cl)
+		h.eng.Instr(12)
+	}
+	return &Object{Class: c, State: make(map[string]uint64)}, nil
+}
+
+// Invoke performs one virtual call: vtable dispatch, then the most
+// derived override found walking up the chain.
+func (h *Hierarchy) Invoke(o *Object, method string) error {
+	for c := o.Class; c != nil; c = c.Parent {
+		if m, ok := c.methods[method]; ok {
+			h.chargeDispatch(o.Class)
+			h.eng.Exec(m.region)
+			return nil
+		}
+	}
+	return ErrNoMethod
+}
+
+// InvokeChain runs a sequence of virtual calls — the fine-grained style
+// where an operation is decomposed into many short methods.
+func (h *Hierarchy) InvokeChain(o *Object, methods []string) error {
+	for _, m := range methods {
+		if err := h.Invoke(o, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Hierarchy) chargeDispatch(c *Class) {
+	h.mu.Lock()
+	h.dispatches++
+	h.mu.Unlock()
+	h.eng.Read(c.vtableAddr, 8) // vtable slot load
+	h.eng.Stall(DispatchCycles)
+	h.eng.Instr(3) // load-load-call
+}
+
+// Flatten pre-compiles a chain of methods on a class into one contiguous
+// region — the MK++ approach of restricting virtuals and inlining
+// aggressively.  The flattened body has the same total instruction count
+// but a single footprint and no dispatches.
+func (h *Hierarchy) Flatten(className string, chainName string, methods []string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.classes[className]
+	if !ok {
+		return ErrNoClass
+	}
+	var total uint64
+	for _, mname := range methods {
+		found := false
+		for cl := c; cl != nil; cl = cl.Parent {
+			if m, ok := cl.methods[mname]; ok {
+				total += m.region.Instr
+				found = true
+				break
+			}
+		}
+		if !found {
+			return ErrNoMethod
+		}
+	}
+	// Inlining also eliminates call/prologue overhead: ~4 instructions
+	// per inlined call site.
+	saved := uint64(4 * len(methods))
+	if total > saved {
+		total -= saved
+	}
+	h.flattened[className+"#"+chainName] = h.layout.PlaceInstr("objsys:flat:"+className+"#"+chainName, total)
+	return nil
+}
+
+// InvokeFlat runs a flattened chain: one direct call, one region.
+func (h *Hierarchy) InvokeFlat(o *Object, chainName string) error {
+	h.mu.Lock()
+	r, ok := h.flattened[o.Class.Name+"#"+chainName]
+	h.mu.Unlock()
+	if !ok {
+		return ErrNotFlattened
+	}
+	h.eng.Instr(2) // direct call
+	h.eng.Exec(r)
+	return nil
+}
+
+// Dispatches reports the virtual calls made so far.
+func (h *Hierarchy) Dispatches() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dispatches
+}
+
+// MetadataFootprint totals the per-class runtime metadata — the "C++
+// runtimes in the kernel and user space consumed considerable amounts of
+// memory" claim, measurable.
+func (h *Hierarchy) MetadataFootprint() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total uint64
+	for _, c := range h.classes {
+		total += c.MetadataBytes
+	}
+	return total
+}
+
+// Classes reports the number of defined classes.
+func (h *Hierarchy) Classes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.classes)
+}
+
+// Wrapper is a stateful C++ wrapper over a kernel interface: rather than
+// a stateless veneer it exports a different interface and keeps state,
+// which the paper singles out as a size and complexity problem.  Every
+// call updates the wrapper state (extra instructions and data traffic)
+// before reaching the wrapped operation.
+type Wrapper struct {
+	h         *Hierarchy
+	obj       *Object
+	stateAddr uint64
+	stateSize uint64
+	calls     uint64
+}
+
+// NewWrapper wraps an object with nBytes of wrapper state.
+func (h *Hierarchy) NewWrapper(o *Object, nBytes uint64) *Wrapper {
+	h.mu.Lock()
+	addr := h.vtNext
+	h.vtNext += (nBytes + 255) &^ 255
+	h.mu.Unlock()
+	return &Wrapper{h: h, obj: o, stateAddr: addr, stateSize: nBytes}
+}
+
+// Call invokes a method through the wrapper: state bookkeeping first,
+// then the virtual call.
+func (w *Wrapper) Call(method string) error {
+	w.calls++
+	w.h.eng.Read(w.stateAddr, w.stateSize)
+	w.h.eng.Write(w.stateAddr, w.stateSize/2+1)
+	w.h.eng.Instr(25 + w.stateSize/16)
+	return w.h.Invoke(w.obj, method)
+}
+
+// StateBytes reports the wrapper's maintained state size.
+func (w *Wrapper) StateBytes() uint64 { return w.stateSize }
+
+func (c *Class) String() string {
+	return fmt.Sprintf("class %s depth=%d methods=%d", c.Name, c.Depth, len(c.methods))
+}

@@ -1,0 +1,219 @@
+package objsys
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+)
+
+func newH() (*Hierarchy, *cpu.Engine) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	return NewHierarchy(eng, cpu.NewLayout(0x900000)), eng
+}
+
+func TestDefineAndInvoke(t *testing.T) {
+	h, eng := newH()
+	if _, err := h.DefineClass("TBase", "", map[string]uint64{"Open": 40, "Close": 30}); err != nil {
+		t.Fatalf("DefineClass: %v", err)
+	}
+	o, err := h.New("TBase")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	base := eng.Counters()
+	if err := h.Invoke(o, "Open"); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	d := eng.Counters().Sub(base)
+	if d.Instructions < 40 {
+		t.Fatalf("method body not charged: %d instr", d.Instructions)
+	}
+	if h.Dispatches() == 0 {
+		t.Fatal("no dispatch counted")
+	}
+	if err := h.Invoke(o, "Missing"); err != ErrNoMethod {
+		t.Fatalf("missing method err = %v", err)
+	}
+}
+
+func TestInheritanceAndOverride(t *testing.T) {
+	h, _ := newH()
+	h.DefineClass("TDevice", "", map[string]uint64{"Probe": 50, "Reset": 20})
+	h.DefineClass("TDisk", "TDevice", map[string]uint64{"Probe": 80})
+	h.DefineClass("TSCSIDisk", "TDisk", nil)
+	o, _ := h.New("TSCSIDisk")
+	if o.Class.Depth != 2 {
+		t.Fatalf("depth = %d", o.Class.Depth)
+	}
+	// Probe resolves to TDisk's override; Reset walks to the root.
+	if err := h.Invoke(o, "Probe"); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := h.Invoke(o, "Reset"); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+}
+
+func TestDefineErrors(t *testing.T) {
+	h, _ := newH()
+	h.DefineClass("A", "", nil)
+	if _, err := h.DefineClass("A", "", nil); err != ErrDupClass {
+		t.Fatalf("dup err = %v", err)
+	}
+	if _, err := h.DefineClass("B", "Missing", nil); err != ErrNoClass {
+		t.Fatalf("parent err = %v", err)
+	}
+	if _, err := h.New("Missing"); err != ErrNoClass {
+		t.Fatalf("new err = %v", err)
+	}
+}
+
+func TestFreezeBlocksNewClasses(t *testing.T) {
+	h, _ := newH()
+	h.DefineClass("A", "", nil)
+	h.Freeze()
+	if _, err := h.DefineClass("B", "A", nil); err != ErrFrozen {
+		t.Fatalf("err = %v, want ErrFrozen", err)
+	}
+}
+
+// TestFineGrainedVsFlattened is experiment E6's core assertion: a chain
+// of many short virtual methods costs more cycles than the same work
+// flattened MK++-style into one region, despite equal instruction counts
+// (modulo inlined call overhead).
+func TestFineGrainedVsFlattened(t *testing.T) {
+	h, eng := newH()
+	// A Taligent-flavored stack: 12 classes, short methods.
+	parent := ""
+	var chain []string
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("TLayer%d", i)
+		m := fmt.Sprintf("Step%d", i)
+		if _, err := h.DefineClass(name, parent, map[string]uint64{m: 35}); err != nil {
+			t.Fatalf("DefineClass: %v", err)
+		}
+		parent = name
+		chain = append(chain, m)
+	}
+	leaf := "TLayer11"
+	if err := h.Flatten(leaf, "op", chain); err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	o, _ := h.New(leaf)
+
+	// Warm both paths.
+	h.InvokeChain(o, chain)
+	h.InvokeFlat(o, "op")
+
+	const N = 100
+	base := eng.Counters()
+	for i := 0; i < N; i++ {
+		if err := h.InvokeChain(o, chain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fine := eng.Counters().Sub(base)
+
+	base = eng.Counters()
+	for i := 0; i < N; i++ {
+		if err := h.InvokeFlat(o, "op"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat := eng.Counters().Sub(base)
+
+	t.Logf("fine-grained: %d cycles/op (%d instr); flattened: %d cycles/op (%d instr); ratio %.2f",
+		fine.Cycles/N, fine.Instructions/N, flat.Cycles/N, flat.Instructions/N,
+		float64(fine.Cycles)/float64(flat.Cycles))
+	if fine.Cycles <= flat.Cycles*12/10 {
+		t.Fatalf("fine-grained should cost at least 1.2x: %d vs %d", fine.Cycles, flat.Cycles)
+	}
+}
+
+func TestInvokeFlatRequiresFlatten(t *testing.T) {
+	h, _ := newH()
+	h.DefineClass("A", "", map[string]uint64{"m": 10})
+	o, _ := h.New("A")
+	if err := h.InvokeFlat(o, "nope"); err != ErrNotFlattened {
+		t.Fatalf("err = %v", err)
+	}
+	if err := h.Flatten("Missing", "x", nil); err != ErrNoClass {
+		t.Fatalf("flatten class err = %v", err)
+	}
+	if err := h.Flatten("A", "x", []string{"missing"}); err != ErrNoMethod {
+		t.Fatalf("flatten method err = %v", err)
+	}
+}
+
+func TestMetadataFootprintGrowsWithHierarchy(t *testing.T) {
+	h, _ := newH()
+	h.DefineClass("A", "", map[string]uint64{"a": 10, "b": 10})
+	small := h.MetadataFootprint()
+	parent := "A"
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("C%d", i)
+		h.DefineClass(name, parent, map[string]uint64{"m": 10})
+		parent = name
+	}
+	big := h.MetadataFootprint()
+	if big <= small*5 {
+		t.Fatalf("deep hierarchy metadata should balloon: %d -> %d", small, big)
+	}
+	if h.Classes() != 21 {
+		t.Fatalf("classes = %d", h.Classes())
+	}
+}
+
+func TestWrapperStateCost(t *testing.T) {
+	h, eng := newH()
+	h.DefineClass("TPortWrapper", "", map[string]uint64{"Send": 30})
+	o, _ := h.New("TPortWrapper")
+	w := h.NewWrapper(o, 512)
+	if w.StateBytes() != 512 {
+		t.Fatalf("state = %d", w.StateBytes())
+	}
+	// Warm.
+	w.Call("Send")
+	h.Invoke(o, "Send")
+	const N = 50
+	base := eng.Counters()
+	for i := 0; i < N; i++ {
+		w.Call("Send")
+	}
+	wrapped := eng.Counters().Sub(base).Cycles
+	base = eng.Counters()
+	for i := 0; i < N; i++ {
+		h.Invoke(o, "Send")
+	}
+	direct := eng.Counters().Sub(base).Cycles
+	t.Logf("wrapped %d cycles/call vs direct %d", wrapped/N, direct/N)
+	if wrapped <= direct {
+		t.Fatal("stateful wrapper must cost more than the direct call")
+	}
+}
+
+// Property: dispatch count equals the number of Invoke calls plus
+// construction dispatches, for any sequence.
+func TestPropertyDispatchAccounting(t *testing.T) {
+	f := func(n uint8) bool {
+		h, _ := newH()
+		h.DefineClass("A", "", map[string]uint64{"m": 5})
+		o, err := h.New("A") // 1 ctor dispatch
+		if err != nil {
+			return false
+		}
+		start := h.Dispatches()
+		count := int(n % 50)
+		for i := 0; i < count; i++ {
+			if err := h.Invoke(o, "m"); err != nil {
+				return false
+			}
+		}
+		return h.Dispatches()-start == uint64(count)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

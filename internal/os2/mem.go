@@ -1,0 +1,184 @@
+package os2
+
+import (
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/vm"
+)
+
+// MemoryManager is the OS/2 commitment-oriented memory manager layered on
+// the microkernel's page-oriented lazy VM.  The paper: "OS/2 programs
+// assumed a commitment-oriented memory management system with eager
+// allocation and relatively minor use of copy-on-write.  Worse, OS/2's
+// memory management was on a byte basis and assumed that the operating
+// system retained allocation sizes.  The result was essentially two
+// memory management systems, with OS/2's built on the microkernel's,
+// which, while workable, greatly increased the memory footprint."
+//
+// Everything in that sentence is implemented here and measurable:
+// byte-granular allocation records (the second memory manager's
+// metadata), eager commitment (pages faulted at allocation, not first
+// touch), and page-rounding waste on top of the microkernel map.
+type MemoryManager struct {
+	eng  *cpu.Engine
+	m    *vm.Map
+	path cpu.Region
+
+	mu     sync.Mutex
+	allocs map[vm.VAddr]*allocation
+	// metadataBytes is the second memory manager's own bookkeeping:
+	// per-allocation records, arena headers, free-list nodes.
+	metadataBytes uint64
+	requested     uint64 // bytes the program asked for
+	committed     uint64 // pages eagerly committed
+}
+
+type allocation struct {
+	base      vm.VAddr
+	bytes     uint64 // exact byte size — OS/2 retains allocation sizes
+	pages     uint64
+	committed bool
+}
+
+// perAllocMetadata is the record + arena overhead per allocation.
+const perAllocMetadata = 64
+
+// NewMemoryManager creates the OS/2 heap layer over a task's map.
+func NewMemoryManager(eng *cpu.Engine, layout *cpu.Layout, m *vm.Map) *MemoryManager {
+	return &MemoryManager{
+		eng:    eng,
+		m:      m,
+		path:   layout.PlaceInstr("os2_memman", 380),
+		allocs: make(map[vm.VAddr]*allocation),
+	}
+}
+
+// Alloc implements DosAllocMem: byte-granular request, page-granular
+// reservation underneath, eager commitment when commit is set.
+func (mm *MemoryManager) Alloc(bytes uint64, commit bool) (vm.VAddr, Error) {
+	if bytes == 0 {
+		return 0, ErrInvalidParameter
+	}
+	mm.eng.Exec(mm.path)
+	pages := (bytes + vm.PageSize - 1) / vm.PageSize
+	base, err := mm.m.Allocate(0x2000_0000, pages*vm.PageSize, true)
+	if err != nil {
+		return 0, ErrNotEnoughMemory
+	}
+	a := &allocation{base: base, bytes: bytes, pages: pages, committed: commit}
+	if commit {
+		// Eager allocation: every page is faulted NOW, defeating the
+		// microkernel's lazy zero-fill.
+		for p := uint64(0); p < pages; p++ {
+			if _, err := mm.m.Fault(base+vm.VAddr(p*vm.PageSize), vm.ProtWrite); err != nil {
+				mm.m.Deallocate(base, pages*vm.PageSize)
+				return 0, ErrNotEnoughMemory
+			}
+		}
+	}
+	mm.mu.Lock()
+	mm.allocs[base] = a
+	mm.metadataBytes += perAllocMetadata
+	mm.requested += bytes
+	if commit {
+		mm.committed += pages
+	}
+	mm.mu.Unlock()
+	return base, NoError
+}
+
+// Free implements DosFreeMem: the size comes from the retained record —
+// OS/2 programs never pass one.
+func (mm *MemoryManager) Free(base vm.VAddr) Error {
+	mm.eng.Exec(mm.path)
+	mm.mu.Lock()
+	a, ok := mm.allocs[base]
+	if !ok {
+		mm.mu.Unlock()
+		return ErrInvalidParameter
+	}
+	delete(mm.allocs, base)
+	mm.metadataBytes -= perAllocMetadata
+	mm.requested -= a.bytes
+	if a.committed {
+		mm.committed -= a.pages
+	}
+	mm.mu.Unlock()
+	if err := mm.m.Deallocate(a.base, a.pages*vm.PageSize); err != nil {
+		return ErrInvalidParameter
+	}
+	return NoError
+}
+
+// Commit implements the commit half of DosSetMem on a reserved range.
+func (mm *MemoryManager) Commit(base vm.VAddr) Error {
+	mm.eng.Exec(mm.path)
+	mm.mu.Lock()
+	a, ok := mm.allocs[base]
+	mm.mu.Unlock()
+	if !ok {
+		return ErrInvalidParameter
+	}
+	if a.committed {
+		return NoError
+	}
+	for p := uint64(0); p < a.pages; p++ {
+		if _, err := mm.m.Fault(base+vm.VAddr(p*vm.PageSize), vm.ProtWrite); err != nil {
+			return ErrNotEnoughMemory
+		}
+	}
+	mm.mu.Lock()
+	a.committed = true
+	mm.committed += a.pages
+	mm.mu.Unlock()
+	return NoError
+}
+
+// Size implements DosQueryMem's size query from the retained record.
+func (mm *MemoryManager) Size(base vm.VAddr) (uint64, Error) {
+	mm.eng.Exec(mm.path)
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	a, ok := mm.allocs[base]
+	if !ok {
+		return 0, ErrInvalidParameter
+	}
+	return a.bytes, NoError
+}
+
+// FootprintReport quantifies the two-memory-managers effect.
+type FootprintReport struct {
+	// RequestedBytes is what the program asked for.
+	RequestedBytes uint64
+	// ResidentBytes is what the machine actually holds (frames).
+	ResidentBytes uint64
+	// MetadataBytes is the OS/2-layer bookkeeping on top of the
+	// microkernel's own map entries.
+	MetadataBytes uint64
+	// MapEntries is the microkernel layer's bookkeeping.
+	MapEntries int
+	// Allocations currently live.
+	Allocations int
+}
+
+// Overhead returns resident/requested — >1 is the footprint blow-up.
+func (r FootprintReport) Overhead() float64 {
+	if r.RequestedBytes == 0 {
+		return 0
+	}
+	return float64(r.ResidentBytes) / float64(r.RequestedBytes)
+}
+
+// Footprint reports the current double-bookkeeping state.
+func (mm *MemoryManager) Footprint() FootprintReport {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return FootprintReport{
+		RequestedBytes: mm.requested,
+		ResidentBytes:  uint64(mm.m.ResidentPages()) * vm.PageSize,
+		MetadataBytes:  mm.metadataBytes,
+		MapEntries:     mm.m.Entries(),
+		Allocations:    len(mm.allocs),
+	}
+}

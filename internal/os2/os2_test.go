@@ -1,0 +1,351 @@
+package os2
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/ksync"
+	"repro/internal/ktime"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+	"repro/internal/vm"
+)
+
+type rig struct {
+	k   *mach.Kernel
+	vms *vm.System
+	fs  *vfs.Server
+	srv *Server
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	vms := vm.NewSystem(64 << 20)
+	fsrv, err := vfs.NewServer(k)
+	if err != nil {
+		t.Fatalf("file server: %v", err)
+	}
+	if err := fsrv.Mount("/", vfs.NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	clock := ktime.NewClock(k.CPU, k.Layout(), 133)
+	syncf := ksync.NewFactory(k.CPU, k.Layout())
+	srv, err := NewServer(k, vms, fsrv, clock, syncf)
+	if err != nil {
+		t.Fatalf("os2 server: %v", err)
+	}
+	return &rig{k: k, vms: vms, fs: fsrv, srv: srv}
+}
+
+func TestProcessFileAPI(t *testing.T) {
+	r := newRig(t)
+	p, err := r.srv.CreateProcess("works.exe")
+	if err != nil {
+		t.Fatalf("CreateProcess: %v", err)
+	}
+	h, e := p.DosOpen("/todo.db", true, true)
+	if e != NoError {
+		t.Fatalf("DosOpen: %v", e)
+	}
+	if n, e := p.DosWrite(h, []byte("item one\n")); e != NoError || n != 9 {
+		t.Fatalf("DosWrite: %d %v", n, e)
+	}
+	if n, e := p.DosWrite(h, []byte("item two\n")); e != NoError || n != 9 {
+		t.Fatalf("DosWrite 2: %d %v", n, e)
+	}
+	// Sequential position advanced; rewind and read everything.
+	if e := p.DosSetFilePtr(h, 0); e != NoError {
+		t.Fatalf("seek: %v", e)
+	}
+	buf := make([]byte, 18)
+	if n, e := p.DosRead(h, buf); e != NoError || n != 18 {
+		t.Fatalf("DosRead: %d %v", n, e)
+	}
+	if string(buf[:8]) != "item one" {
+		t.Fatalf("data = %q", buf)
+	}
+	if e := p.DosClose(h); e != NoError {
+		t.Fatalf("DosClose: %v", e)
+	}
+	if e := p.DosClose(h); e != ErrInvalidHandle {
+		t.Fatalf("double close: %v", e)
+	}
+	if _, e := p.DosRead(h, buf); e != ErrInvalidHandle {
+		t.Fatalf("read closed: %v", e)
+	}
+	a, e := p.DosQueryPathInfo("/todo.db")
+	if e != NoError || a.Size != 18 {
+		t.Fatalf("stat: %+v %v", a, e)
+	}
+	if _, e := p.DosOpen("/missing", false, false); e != ErrFileNotFound {
+		t.Fatalf("open missing: %v", e)
+	}
+}
+
+func TestDosErrorsMapFromVFS(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("a")
+	if e := p.DosMkdir("/d"); e != NoError {
+		t.Fatalf("mkdir: %v", e)
+	}
+	if e := p.DosDelete("/nope"); e != ErrFileNotFound {
+		t.Fatalf("delete: %v", e)
+	}
+}
+
+func TestCommitmentMemoryManager(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("memhog.exe")
+	// Byte-granular request, eager commit.
+	addr, e := p.DosAllocMem(100, true)
+	if e != NoError {
+		t.Fatalf("DosAllocMem: %v", e)
+	}
+	// Eager: the page is resident immediately, without any touch.
+	rep := p.Mem.Footprint()
+	if rep.ResidentBytes < vm.PageSize {
+		t.Fatalf("eager commit should make pages resident: %+v", rep)
+	}
+	// The system retained the byte size.
+	if sz, e := p.DosQueryMem(addr); e != NoError || sz != 100 {
+		t.Fatalf("DosQueryMem: %d %v", sz, e)
+	}
+	// Data path works.
+	if e := p.WriteMem(addr, []byte("os2 heap")); e != NoError {
+		t.Fatalf("WriteMem: %v", e)
+	}
+	if b, e := p.ReadMem(addr, 8); e != NoError || string(b) != "os2 heap" {
+		t.Fatalf("ReadMem: %q %v", b, e)
+	}
+	// Free without passing a size.
+	if e := p.DosFreeMem(addr); e != NoError {
+		t.Fatalf("DosFreeMem: %v", e)
+	}
+	if e := p.DosFreeMem(addr); e != ErrInvalidParameter {
+		t.Fatalf("double free: %v", e)
+	}
+	if _, e := p.DosAllocMem(0, true); e != ErrInvalidParameter {
+		t.Fatalf("zero alloc: %v", e)
+	}
+}
+
+func TestReserveThenCommit(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("a")
+	addr, e := p.DosAllocMem(3*vm.PageSize, false)
+	if e != NoError {
+		t.Fatal(e)
+	}
+	before := p.Mem.Footprint().ResidentBytes
+	if e := p.DosSetMem(addr); e != NoError {
+		t.Fatalf("DosSetMem: %v", e)
+	}
+	after := p.Mem.Footprint().ResidentBytes
+	if after < before+3*vm.PageSize {
+		t.Fatalf("commit did not materialize pages: %d -> %d", before, after)
+	}
+	// Idempotent.
+	if e := p.DosSetMem(addr); e != NoError {
+		t.Fatalf("recommit: %v", e)
+	}
+	if e := p.DosSetMem(addr + 0x99999000); e != ErrInvalidParameter {
+		t.Fatalf("bogus commit: %v", e)
+	}
+}
+
+// TestTwoMemoryManagersFootprint is experiment E7's unit-level check:
+// many small byte-granular eager allocations blow the footprint up well
+// beyond the requested bytes, and the OS/2 layer duplicates bookkeeping
+// the microkernel map already has.
+func TestTwoMemoryManagersFootprint(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("blowup.exe")
+	for i := 0; i < 50; i++ {
+		if _, e := p.DosAllocMem(100, true); e != NoError {
+			t.Fatalf("alloc %d: %v", i, e)
+		}
+	}
+	rep := p.Mem.Footprint()
+	t.Logf("requested=%d resident=%d overhead=%.1fx os2-metadata=%d map-entries=%d",
+		rep.RequestedBytes, rep.ResidentBytes, rep.Overhead(), rep.MetadataBytes, rep.MapEntries)
+	if rep.Overhead() < 10 {
+		t.Fatalf("100-byte eager allocations should cost ~41x pages, got %.1fx", rep.Overhead())
+	}
+	if rep.MetadataBytes == 0 || rep.MapEntries < 50 {
+		t.Fatal("double bookkeeping not visible")
+	}
+}
+
+func TestSharedMemorySameAddress(t *testing.T) {
+	r := newRig(t)
+	p1, _ := r.srv.CreateProcess("writer")
+	p2, _ := r.srv.CreateProcess("reader")
+	a1, e := p1.DosAllocSharedMem("\\SHAREMEM\\CLIP", 8192)
+	if e != NoError {
+		t.Fatalf("alloc shared: %v", e)
+	}
+	a2, e := p2.DosGetNamedSharedMem("\\SHAREMEM\\CLIP")
+	if e != NoError {
+		t.Fatalf("get shared: %v", e)
+	}
+	if a1 != a2 {
+		t.Fatalf("shared memory at different addresses: %x vs %x — OS/2 programs assume identical", a1, a2)
+	}
+	if e := p1.WriteMem(a1, []byte("clipboard")); e != NoError {
+		t.Fatal(e)
+	}
+	b, e := p2.ReadMem(a2, 9)
+	if e != NoError || string(b) != "clipboard" {
+		t.Fatalf("shared read: %q %v", b, e)
+	}
+	// Duplicate name rejected; unknown name not found.
+	if _, e := p2.DosAllocSharedMem("\\SHAREMEM\\CLIP", 4096); e != ErrInvalidParameter {
+		t.Fatalf("dup: %v", e)
+	}
+	if _, e := p2.DosGetNamedSharedMem("\\SHAREMEM\\NOPE"); e != ErrFileNotFound {
+		t.Fatalf("missing: %v", e)
+	}
+}
+
+func TestPMMessageQueue(t *testing.T) {
+	r := newRig(t)
+	p1, _ := r.srv.CreateProcess("sender")
+	p2, _ := r.srv.CreateProcess("receiver")
+	if e := p1.WinPostMsg(p2.PID(), 0x0111, 42); e != NoError {
+		t.Fatalf("post: %v", e)
+	}
+	m, e := p2.WinGetMsg(true)
+	if e != NoError || m.Msg != 0x0111 || m.Arg != 42 {
+		t.Fatalf("get: %+v %v", m, e)
+	}
+	if _, e := p2.WinGetMsg(false); e != ErrQueueEmpty {
+		t.Fatalf("empty: %v", e)
+	}
+	if e := p1.WinPostMsg(PID(999), 1, 1); e != ErrProcNotFound {
+		t.Fatalf("bad pid: %v", e)
+	}
+}
+
+func TestThreadsAndMutexes(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("mt.exe")
+	if e := p.DosCreateMutexSem("\\SEM32\\M"); e != NoError {
+		t.Fatal(e)
+	}
+	if e := p.DosCreateMutexSem("\\SEM32\\M"); e != ErrInvalidParameter {
+		t.Fatalf("dup sem: %v", e)
+	}
+	if e := p.DosRequestMutexSem("\\SEM32\\NOPE"); e != ErrSemNotFound {
+		t.Fatalf("missing sem: %v", e)
+	}
+	counter := 0
+	done := make(chan struct{})
+	_, e := p.DosCreateThread("worker", func(th *mach.Thread) {
+		for i := 0; i < 100; i++ {
+			p.DosRequestMutexSem("\\SEM32\\M")
+			counter++
+			p.DosReleaseMutexSem("\\SEM32\\M")
+		}
+		close(done)
+	})
+	if e != NoError {
+		t.Fatal(e)
+	}
+	for i := 0; i < 100; i++ {
+		p.DosRequestMutexSem("\\SEM32\\M")
+		counter++
+		p.DosReleaseMutexSem("\\SEM32\\M")
+	}
+	<-done
+	if counter != 200 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestExitRemovesProcess(t *testing.T) {
+	r := newRig(t)
+	p1, _ := r.srv.CreateProcess("a")
+	p2, _ := r.srv.CreateProcess("b")
+	pid := p2.PID()
+	p2.Exit()
+	if e := p1.WinPostMsg(pid, 1, 1); e != ErrProcNotFound {
+		t.Fatalf("post to exited: %v", e)
+	}
+}
+
+func TestDosSleepAdvancesClock(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("sleepy")
+	if e := p.DosSleep(5 * ktime.Millisecond); e != NoError {
+		t.Fatal(e)
+	}
+}
+
+// Property: alloc/free balance — after freeing everything, no frames or
+// records remain regardless of the size mix.
+func TestPropertyAllocFreeBalance(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.srv.CreateProcess("balance")
+	f := func(sizes []uint16) bool {
+		var addrs []vm.VAddr
+		for _, s := range sizes {
+			if len(addrs) >= 20 {
+				break
+			}
+			a, e := p.DosAllocMem(uint64(s%20000)+1, true)
+			if e != NoError {
+				return false
+			}
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if e := p.DosFreeMem(a); e != NoError {
+				return false
+			}
+		}
+		rep := p.Mem.Footprint()
+		return rep.Allocations == 0 && rep.RequestedBytes == 0 && rep.ResidentBytes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shared memory writes are bidirectionally coherent at the
+// same address across any pair of processes.
+func TestPropertySharedCoherence(t *testing.T) {
+	r := newRig(t)
+	p1, _ := r.srv.CreateProcess("x")
+	p2, _ := r.srv.CreateProcess("y")
+	base, e := p1.DosAllocSharedMem("\\SHAREMEM\\P", 65536)
+	if e != NoError {
+		t.Fatal(e)
+	}
+	if _, e := p2.DosGetNamedSharedMem("\\SHAREMEM\\P"); e != NoError {
+		t.Fatal(e)
+	}
+	f := func(off uint16, data []byte, fromP1 bool) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 500 {
+			data = data[:500]
+		}
+		o := vm.VAddr(off) % (65536 - 512)
+		src, dst := p1, p2
+		if !fromP1 {
+			src, dst = p2, p1
+		}
+		if e := src.WriteMem(base+o, data); e != NoError {
+			return false
+		}
+		got, e := dst.ReadMem(base+o, uint64(len(data)))
+		return e == NoError && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

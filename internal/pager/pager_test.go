@@ -1,0 +1,170 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/vm"
+)
+
+func newPager(slots uint64) (*DefaultPager, *vm.System) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	sys := vm.NewSystem(64 << 20)
+	return New(eng, cpu.NewLayout(0x700000), NewRAMStore(slots)), sys
+}
+
+func TestPageInZeroFillBeforeAnyPageOut(t *testing.T) {
+	p, sys := newPager(16)
+	obj := sys.NewObject(4*vm.PageSize, "anon")
+	data, err := p.PageIn(obj, 0)
+	if err != nil {
+		t.Fatalf("PageIn: %v", err)
+	}
+	if !bytes.Equal(data, make([]byte, vm.PageSize)) {
+		t.Fatal("unwritten page must read as zeros")
+	}
+}
+
+func TestPageOutPageInRoundTrip(t *testing.T) {
+	p, sys := newPager(16)
+	obj := sys.NewObject(4*vm.PageSize, "anon")
+	page := bytes.Repeat([]byte{0x5A}, vm.PageSize)
+	if err := p.PageOut(obj, vm.PageSize, page); err != nil {
+		t.Fatalf("PageOut: %v", err)
+	}
+	got, err := p.PageIn(obj, vm.PageSize)
+	if err != nil {
+		t.Fatalf("PageIn: %v", err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("round trip lost data")
+	}
+	// Other offsets unaffected.
+	other, _ := p.PageIn(obj, 0)
+	if !bytes.Equal(other, make([]byte, vm.PageSize)) {
+		t.Fatal("other page contaminated")
+	}
+	ins, outs := p.Stats()
+	if ins != 1 || outs != 1 {
+		t.Fatalf("stats: ins=%d outs=%d", ins, outs)
+	}
+}
+
+func TestPageOutOverwriteReusesSlot(t *testing.T) {
+	p, sys := newPager(16)
+	obj := sys.NewObject(vm.PageSize, "anon")
+	p.PageOut(obj, 0, bytes.Repeat([]byte{1}, vm.PageSize))
+	p.PageOut(obj, 0, bytes.Repeat([]byte{2}, vm.PageSize))
+	if p.SlotsInUse() != 1 {
+		t.Fatalf("slots = %d, want 1", p.SlotsInUse())
+	}
+	got, _ := p.PageIn(obj, 0)
+	if got[0] != 2 {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestStoreFull(t *testing.T) {
+	p, sys := newPager(2)
+	obj := sys.NewObject(16*vm.PageSize, "anon")
+	page := make([]byte, vm.PageSize)
+	if err := p.PageOut(obj, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PageOut(obj, vm.PageSize, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PageOut(obj, 2*vm.PageSize, page); err != ErrStoreFull {
+		t.Fatalf("err = %v, want ErrStoreFull", err)
+	}
+}
+
+func TestReleaseFreesSlots(t *testing.T) {
+	p, sys := newPager(2)
+	obj1 := sys.NewObject(16*vm.PageSize, "a")
+	obj2 := sys.NewObject(16*vm.PageSize, "b")
+	page := make([]byte, vm.PageSize)
+	p.PageOut(obj1, 0, page)
+	p.PageOut(obj1, vm.PageSize, page)
+	p.Release(obj1)
+	if p.SlotsInUse() != 0 {
+		t.Fatalf("slots = %d after release", p.SlotsInUse())
+	}
+	// Freed slots are reusable.
+	if err := p.PageOut(obj2, 0, page); err != nil {
+		t.Fatalf("reuse: %v", err)
+	}
+}
+
+func TestPagerDrivesVMFaults(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	sys := vm.NewSystem(64 << 20)
+	p := New(eng, cpu.NewLayout(0x700000), NewRAMStore(64))
+	obj := sys.NewPagedObject(8*vm.PageSize, p, "swap")
+	// Pre-populate backing store as if pages had been evicted.
+	want := bytes.Repeat([]byte{0x7E}, vm.PageSize)
+	p.PageOut(obj, 2*vm.PageSize, want)
+
+	m := sys.NewMap(0)
+	a, err := m.MapObject(0, 8*vm.PageSize, obj, 0, vm.ProtRW, true)
+	if err != nil {
+		t.Fatalf("MapObject: %v", err)
+	}
+	got, err := m.Read(a+vm.VAddr(2*vm.PageSize), 8)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want[:8]) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRAMStoreErrors(t *testing.T) {
+	r := NewRAMStore(4)
+	buf := make([]byte, vm.PageSize)
+	if err := r.ReadPage(0, buf); err != ErrBadSlot {
+		t.Fatalf("read empty slot err = %v", err)
+	}
+	if err := r.WritePage(99, buf); err != ErrBadSlot {
+		t.Fatalf("write out of range err = %v", err)
+	}
+	if r.Slots() != 4 {
+		t.Fatalf("slots = %d", r.Slots())
+	}
+}
+
+// Property: for any sequence of page-outs at distinct offsets, every page
+// reads back exactly, and untouched offsets read as zeros.
+func TestPropertyPagerConsistency(t *testing.T) {
+	f := func(offsets []uint8, fill []byte) bool {
+		p, sys := newPager(512)
+		obj := sys.NewObject(256*vm.PageSize, "anon")
+		written := make(map[uint64]byte)
+		for i, o := range offsets {
+			off := uint64(o) * vm.PageSize
+			var b byte = 1
+			if len(fill) > 0 {
+				b = fill[i%len(fill)] | 1
+			}
+			page := bytes.Repeat([]byte{b}, vm.PageSize)
+			if err := p.PageOut(obj, off, page); err != nil {
+				return false
+			}
+			written[off] = b
+		}
+		for off, b := range written {
+			got, err := p.PageIn(obj, off)
+			if err != nil || got[0] != b || got[vm.PageSize-1] != b {
+				return false
+			}
+		}
+		// An offset beyond anything written is zero.
+		got, err := p.PageIn(obj, 300*vm.PageSize)
+		return err == nil && got[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

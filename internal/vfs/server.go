@@ -1,0 +1,552 @@
+package vfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/mach"
+)
+
+// File server message IDs.
+const (
+	MsgOpen mach.MsgID = 0x0F00 + iota
+	MsgClose
+	MsgRead
+	MsgWrite
+	MsgTruncate
+	MsgStat
+	MsgFStat
+	MsgMkdir
+	MsgReadDir
+	MsgRemove
+	MsgRename
+	MsgSetEA
+	MsgGetEA
+	MsgSync
+)
+
+// MaxReadChunk bounds one read RPC's server-side buffer; longer reads
+// return short and the client iterates.
+const MaxReadChunk = 1 << 20
+
+// Server is the file server task: it serves the vnode layer over RPC with
+// a port per open file ("the design of the file server made heavy use of
+// ports to manage open files").  Each open file's port is serviced by a
+// dedicated server thread, standing in for Mach's port sets.
+type Server struct {
+	Disp *Dispatcher
+
+	k    *mach.Kernel
+	task *mach.Task
+	ctrl mach.PortName
+	path cpu.Region
+
+	mu        sync.Mutex
+	filePorts map[uint32]mach.PortName // fd -> receive name in server task
+}
+
+// NewServer starts the file server task and its control loop.
+func NewServer(k *mach.Kernel) (*Server, error) {
+	s := &Server{
+		Disp:      NewDispatcher(),
+		k:         k,
+		task:      k.NewTask("fileserver"),
+		path:      k.Layout().PlaceInstr("file_server_op", 1200),
+		filePorts: make(map[uint32]mach.PortName),
+	}
+	ctrl, err := s.task.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	s.ctrl = ctrl
+	if _, err := s.task.Spawn("control", func(th *mach.Thread) {
+		th.Serve(ctrl, s.handleControl)
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Task returns the server task (for granting rights and shutdown).
+func (s *Server) Task() *mach.Task { return s.task }
+
+// ControlPort returns the server-side control receive name.
+func (s *Server) ControlPort() mach.PortName { return s.ctrl }
+
+// Mount attaches a file system into the single rooted tree.
+func (s *Server) Mount(path string, fs FileSystem) error {
+	return s.Disp.Mount(path, fs)
+}
+
+// --- wire helpers ---------------------------------------------------------
+
+func pack(fields ...[]byte) []byte {
+	var out []byte
+	for _, f := range fields {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(f)))
+		out = append(out, l[:]...)
+		out = append(out, f...)
+	}
+	return out
+}
+
+func unpack(b []byte, n int) ([][]byte, bool) {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, false
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil, false
+		}
+		out = append(out, b[:l])
+		b = b[l:]
+	}
+	return out, true
+}
+
+func u32b(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func u64b(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func errReply(err error) *mach.Message {
+	return &mach.Message{ID: 1, Body: []byte(err.Error())}
+}
+
+func okReply(body []byte, ool []byte) *mach.Message {
+	return &mach.Message{ID: 0, Body: body, OOL: ool}
+}
+
+// wireErrors maps error strings back to the canonical sentinels so
+// errors.Is works across the RPC boundary.
+var wireErrors = []error{
+	ErrNotFound, ErrExists, ErrNotDir, ErrIsDir, ErrNotEmpty,
+	ErrNameTooLong, ErrBadName, ErrNoSpace, ErrBadHandle, ErrReadOnly,
+	ErrNotMounted, ErrMountBusy, ErrCrossDevice, ErrUnsupported,
+	ErrBadOffset, ErrSemanticClash,
+}
+
+func fromWire(msg string) error {
+	for _, e := range wireErrors {
+		if e.Error() == msg {
+			return e
+		}
+	}
+	return errors.New(msg)
+}
+
+// --- server side ------------------------------------------------------------
+
+func (s *Server) handleControl(req *mach.Message) *mach.Message {
+	s.k.CPU.Exec(s.path)
+	switch req.ID {
+	case MsgOpen:
+		f, ok := unpack(req.Body, 4)
+		if !ok || len(f[0]) < 1 || len(f[1]) < 1 || len(f[2]) < 1 {
+			return errReply(ErrBadHandle)
+		}
+		profile := Profile(f[0][0])
+		write := f[1][0] != 0
+		create := f[2][0] != 0
+		fd, err := s.Disp.Open(profile, string(f[3]), write, create)
+		if err != nil {
+			return errReply(err)
+		}
+		// Port per open file: allocate and serve it.
+		fport, err := s.task.AllocatePort()
+		if err != nil {
+			s.Disp.Close(fd)
+			return errReply(err)
+		}
+		s.mu.Lock()
+		s.filePorts[fd] = fport
+		s.mu.Unlock()
+		if _, err := s.task.Spawn("file", func(th *mach.Thread) {
+			th.Serve(fport, func(m *mach.Message) *mach.Message {
+				return s.handleFile(fd, m)
+			})
+		}); err != nil {
+			s.Disp.Close(fd)
+			return errReply(err)
+		}
+		return &mach.Message{
+			ID:   0,
+			Body: u32b(fd),
+			Rights: []mach.PortRight{{
+				Name: fport, Disposition: mach.DispMakeSend,
+			}},
+		}
+	case MsgStat:
+		a, err := s.Disp.Stat(string(req.Body))
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(encodeAttr(a), nil)
+	case MsgMkdir:
+		f, ok := unpack(req.Body, 2)
+		if !ok || len(f[0]) < 1 {
+			return errReply(ErrBadHandle)
+		}
+		if err := s.Disp.Mkdir(Profile(f[0][0]), string(f[1])); err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, nil)
+	case MsgReadDir:
+		ents, err := s.Disp.ReadDir(string(req.Body))
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, encodeDirEnts(ents))
+	case MsgRemove:
+		if err := s.Disp.Remove(string(req.Body)); err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, nil)
+	case MsgRename:
+		f, ok := unpack(req.Body, 3)
+		if !ok || len(f[0]) < 1 {
+			return errReply(ErrBadHandle)
+		}
+		if err := s.Disp.Rename(Profile(f[0][0]), string(f[1]), string(f[2])); err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, nil)
+	case MsgSetEA:
+		f, ok := unpack(req.Body, 4)
+		if !ok || len(f[0]) < 1 {
+			return errReply(ErrBadHandle)
+		}
+		if err := s.Disp.SetEA(Profile(f[0][0]), string(f[1]), string(f[2]), string(f[3])); err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, nil)
+	case MsgGetEA:
+		f, ok := unpack(req.Body, 2)
+		if !ok {
+			return errReply(ErrBadHandle)
+		}
+		v, err := s.Disp.GetEA(string(f[0]), string(f[1]))
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply([]byte(v), nil)
+	case MsgSync:
+		if err := s.Disp.Sync(); err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, nil)
+	default:
+		return errReply(ErrUnsupported)
+	}
+}
+
+// handleFile serves one open file's port.
+func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
+	s.k.CPU.Exec(s.path)
+	switch req.ID {
+	case MsgRead:
+		if len(req.Body) < 12 {
+			return errReply(ErrBadHandle)
+		}
+		off := int64(binary.LittleEndian.Uint64(req.Body[0:8]))
+		n := binary.LittleEndian.Uint32(req.Body[8:12])
+		// The requested length is wire data: clamp it rather than let a
+		// client size the server's allocation (short reads are legal).
+		if n > MaxReadChunk {
+			n = MaxReadChunk
+		}
+		buf := make([]byte, n)
+		got, err := s.Disp.ReadAt(fd, buf, off)
+		if err != nil && got == 0 {
+			return errReply(err)
+		}
+		return okReply(u32b(uint32(got)), buf[:got])
+	case MsgWrite:
+		if len(req.Body) < 8 {
+			return errReply(ErrBadHandle)
+		}
+		off := int64(binary.LittleEndian.Uint64(req.Body[0:8]))
+		n, err := s.Disp.WriteAt(fd, req.OOL, off)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(u32b(uint32(n)), nil)
+	case MsgTruncate:
+		if len(req.Body) < 8 {
+			return errReply(ErrBadHandle)
+		}
+		size := int64(binary.LittleEndian.Uint64(req.Body[0:8]))
+		if err := s.Disp.Truncate(fd, size); err != nil {
+			return errReply(err)
+		}
+		return okReply(nil, nil)
+	case MsgFStat:
+		a, err := s.Disp.FStat(fd)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(encodeAttr(a), nil)
+	case MsgClose:
+		if err := s.Disp.Close(fd); err != nil {
+			return errReply(err)
+		}
+		s.mu.Lock()
+		if fp, ok := s.filePorts[fd]; ok {
+			delete(s.filePorts, fd)
+			// Destroy the per-file port; its server thread exits.
+			go s.task.DeallocatePort(fp)
+		}
+		s.mu.Unlock()
+		return okReply(nil, nil)
+	default:
+		return errReply(ErrUnsupported)
+	}
+}
+
+func encodeAttr(a Attr) []byte {
+	var dir byte
+	if a.Dir {
+		dir = 1
+	}
+	out := append(u64b(uint64(a.Size)), dir)
+	out = append(out, u64b(a.ModTime)...)
+	return out
+}
+
+func decodeAttr(b []byte) (Attr, bool) {
+	if len(b) < 17 {
+		return Attr{}, false
+	}
+	return Attr{
+		Size:    int64(binary.LittleEndian.Uint64(b[0:8])),
+		Dir:     b[8] != 0,
+		ModTime: binary.LittleEndian.Uint64(b[9:17]),
+	}, true
+}
+
+func encodeDirEnts(ents []DirEnt) []byte {
+	var out []byte
+	out = append(out, u32b(uint32(len(ents)))...)
+	for _, e := range ents {
+		var dir byte
+		if e.Dir {
+			dir = 1
+		}
+		out = append(out, pack([]byte(e.Name), []byte{dir}, u64b(uint64(e.Size)))...)
+	}
+	return out
+}
+
+func decodeDirEnts(b []byte) ([]DirEnt, bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	// Cap the pre-allocation: the count is wire data and must not be
+	// trusted to size memory (each entry needs >= 12 bytes anyway).
+	capHint := n
+	if capHint > uint32(len(b)/12) {
+		capHint = uint32(len(b) / 12)
+	}
+	out := make([]DirEnt, 0, capHint)
+	for i := uint32(0); i < n; i++ {
+		f, ok := unpack(b, 3)
+		if !ok {
+			return nil, false
+		}
+		consumed := 12 + len(f[0]) + len(f[1]) + len(f[2])
+		b = b[consumed:]
+		out = append(out, DirEnt{
+			Name: string(f[0]),
+			Dir:  f[1][0] != 0,
+			Size: int64(binary.LittleEndian.Uint64(f[2])),
+		})
+	}
+	return out, true
+}
+
+// --- client side ------------------------------------------------------------
+
+// Client is the personality-side library for talking to the file server.
+type Client struct {
+	th      *mach.Thread
+	ctrl    mach.PortName
+	profile Profile
+}
+
+// NewClient gives the calling task a connection to the server under the
+// given semantic profile.
+func (s *Server) NewClient(th *mach.Thread, profile Profile) (*Client, error) {
+	n, err := th.Task().InsertRight(s.task, s.ctrl, mach.DispMakeSend)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{th: th, ctrl: n, profile: profile}, nil
+}
+
+func (c *Client) call(dest mach.PortName, id mach.MsgID, body, ool []byte) (*mach.Message, error) {
+	reply, err := c.th.RPC(dest, &mach.Message{ID: id, Body: body, OOL: ool})
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != 0 {
+		return nil, fromWire(string(reply.Body))
+	}
+	return reply, nil
+}
+
+// File is an open file backed by its own server port.
+type File struct {
+	c    *Client
+	fd   uint32
+	port mach.PortName
+}
+
+// Open opens a file, creating it if create is set.
+func (c *Client) Open(path string, write, create bool) (*File, error) {
+	var w, cr byte
+	if write {
+		w = 1
+	}
+	if create {
+		cr = 1
+	}
+	body := pack([]byte{byte(c.profile)}, []byte{w}, []byte{cr}, []byte(path))
+	reply, err := c.call(c.ctrl, MsgOpen, body, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Rights) != 1 || reply.Rights[0].Name == mach.NullName {
+		return nil, ErrBadHandle
+	}
+	return &File{
+		c:    c,
+		fd:   binary.LittleEndian.Uint32(reply.Body),
+		port: reply.Rights[0].Name,
+	}, nil
+}
+
+// ReadAt reads up to len(p) bytes at off.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	body := append(u64b(uint64(off)), u32b(uint32(len(p)))...)
+	reply, err := f.c.call(f.port, MsgRead, body, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(reply.Body))
+	copy(p, reply.OOL[:n])
+	return n, nil
+}
+
+// WriteAt writes p at off.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	reply, err := f.c.call(f.port, MsgWrite, u64b(uint64(off)), p)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(reply.Body)), nil
+}
+
+// Truncate resizes the file.
+func (f *File) Truncate(size int64) error {
+	_, err := f.c.call(f.port, MsgTruncate, u64b(uint64(size)), nil)
+	return err
+}
+
+// Stat returns the file's attributes.
+func (f *File) Stat() (Attr, error) {
+	reply, err := f.c.call(f.port, MsgFStat, nil, nil)
+	if err != nil {
+		return Attr{}, err
+	}
+	a, ok := decodeAttr(reply.Body)
+	if !ok {
+		return Attr{}, ErrBadHandle
+	}
+	return a, nil
+}
+
+// Close releases the open file and its port.
+func (f *File) Close() error {
+	_, err := f.c.call(f.port, MsgClose, nil, nil)
+	return err
+}
+
+// Stat queries a path's attributes.
+func (c *Client) Stat(path string) (Attr, error) {
+	reply, err := c.call(c.ctrl, MsgStat, []byte(path), nil)
+	if err != nil {
+		return Attr{}, err
+	}
+	a, ok := decodeAttr(reply.Body)
+	if !ok {
+		return Attr{}, ErrBadHandle
+	}
+	return a, nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call(c.ctrl, MsgMkdir, pack([]byte{byte(c.profile)}, []byte(path)), nil)
+	return err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]DirEnt, error) {
+	reply, err := c.call(c.ctrl, MsgReadDir, []byte(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	ents, ok := decodeDirEnts(reply.OOL)
+	if !ok {
+		return nil, ErrBadHandle
+	}
+	return ents, nil
+}
+
+// Remove deletes a file or empty directory.
+func (c *Client) Remove(path string) error {
+	_, err := c.call(c.ctrl, MsgRemove, []byte(path), nil)
+	return err
+}
+
+// Rename moves a file.
+func (c *Client) Rename(from, to string) error {
+	_, err := c.call(c.ctrl, MsgRename, pack([]byte{byte(c.profile)}, []byte(from), []byte(to)), nil)
+	return err
+}
+
+// SetEA sets an extended attribute.
+func (c *Client) SetEA(path, key, value string) error {
+	_, err := c.call(c.ctrl, MsgSetEA, pack([]byte{byte(c.profile)}, []byte(path), []byte(key), []byte(value)), nil)
+	return err
+}
+
+// GetEA reads an extended attribute.
+func (c *Client) GetEA(path, key string) (string, error) {
+	reply, err := c.call(c.ctrl, MsgGetEA, pack([]byte(path), []byte(key)), nil)
+	if err != nil {
+		return "", err
+	}
+	return string(reply.Body), nil
+}
+
+// Sync flushes all mounted file systems.
+func (c *Client) Sync() error {
+	_, err := c.call(c.ctrl, MsgSync, nil, nil)
+	return err
+}

@@ -1,0 +1,142 @@
+// Package vfs implements the Workplace OS file server: a personality-
+// neutral user-level task providing generic file service over an extended
+// vnode architecture that supports multiple physical file systems (FAT,
+// an HPFS-like and a JFS-like format live in sibling packages).  Open
+// files are managed with a port per open file; clients reach the server
+// by RPC; the server integrates with the name service so all file systems
+// appear in a single rooted tree.
+//
+// The server also carries the semantic-union burden the paper describes:
+// it must implement the union of the TalOS, OS/2 and UNIX file-system
+// semantics, and the physical formats limit what the logical layer can
+// promise (FAT's 8.3 names being the canonical example, experiment E8).
+package vfs
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by the file layer.
+var (
+	ErrNotFound      = errors.New("vfs: no such file or directory")
+	ErrExists        = errors.New("vfs: file exists")
+	ErrNotDir        = errors.New("vfs: not a directory")
+	ErrIsDir         = errors.New("vfs: is a directory")
+	ErrNotEmpty      = errors.New("vfs: directory not empty")
+	ErrNameTooLong   = errors.New("vfs: name exceeds the physical format's limit")
+	ErrBadName       = errors.New("vfs: name contains characters the physical format forbids")
+	ErrNoSpace       = errors.New("vfs: file system full")
+	ErrBadHandle     = errors.New("vfs: invalid open-file handle")
+	ErrReadOnly      = errors.New("vfs: file opened read-only")
+	ErrNotMounted    = errors.New("vfs: no file system mounted at path")
+	ErrMountBusy     = errors.New("vfs: mount point in use")
+	ErrCrossDevice   = errors.New("vfs: rename across file systems")
+	ErrUnsupported   = errors.New("vfs: operation not supported by this file system")
+	ErrBadOffset     = errors.New("vfs: negative or overflowing offset")
+	ErrSemanticClash = errors.New("vfs: operation valid in one personality's semantics but not expressible here")
+)
+
+// Attr describes a file.
+type Attr struct {
+	Size    int64
+	Dir     bool
+	ModTime uint64 // simulated nanoseconds
+	// EA support (HPFS/OS2): extended attributes.
+	EAs map[string]string
+}
+
+// DirEnt is a directory entry.
+type DirEnt struct {
+	Name string
+	Dir  bool
+	Size int64
+}
+
+// Vnode is the extended vnode interface every physical file system
+// implements.
+type Vnode interface {
+	Attr() (Attr, error)
+	// Lookup finds a child by name (directories only).  Matching is the
+	// physical format's own (FAT and HPFS are case-insensitive, JFS is
+	// case-sensitive).
+	Lookup(name string) (Vnode, error)
+	// Create makes a child file or directory.
+	Create(name string, dir bool) (Vnode, error)
+	// Remove deletes a child.
+	Remove(name string) error
+	// ReadAt / WriteAt move file data.
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	// Truncate sets the file size.
+	Truncate(size int64) error
+	// ReadDir lists a directory.
+	ReadDir() ([]DirEnt, error)
+	// SetEA sets an extended attribute (ErrUnsupported where the format
+	// has no EA storage — FAT).
+	SetEA(key, value string) error
+	// GetEA reads an extended attribute.
+	GetEA(key string) (string, error)
+}
+
+// Capabilities describes what a physical format can express — the
+// constraint surface that forces the semantic compromises.
+type Capabilities struct {
+	// MaxNameLen is the longest component name (12 for FAT 8.3 with dot).
+	MaxNameLen int
+	// CaseSensitive distinguishes names by case (JFS yes, FAT/HPFS no).
+	CaseSensitive bool
+	// PreservesCase stores the creator's case (HPFS yes, FAT no).
+	PreservesCase bool
+	// HasEAs reports extended-attribute storage.
+	HasEAs bool
+	// LongNames reports names beyond 8.3.
+	LongNames bool
+}
+
+// FileSystem is a mounted physical file system.
+type FileSystem interface {
+	Root() Vnode
+	FSName() string
+	Caps() Capabilities
+	// Sync flushes metadata (journaled formats commit here).
+	Sync() error
+}
+
+// BlockDev is the device interface the physical formats sit on; it is
+// satisfied by *drivers.Disk and by RAMDisk for unit tests.
+type BlockDev interface {
+	ReadSectors(sector uint64, buf []byte) error
+	WriteSectors(sector uint64, data []byte) error
+	Sectors() uint64
+}
+
+// SplitPath turns /a/b/c into components, validating the shape.
+func SplitPath(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, ErrNotFound
+	}
+	if p == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.TrimSuffix(p[1:], "/"), "/")
+	for _, c := range parts {
+		if c == "" || c == "." || c == ".." {
+			return nil, ErrNotFound
+		}
+	}
+	return parts, nil
+}
+
+// Walk resolves a path of components from a root vnode.
+func Walk(root Vnode, parts []string) (Vnode, error) {
+	v := root
+	for _, c := range parts {
+		next, err := v.Lookup(c)
+		if err != nil {
+			return nil, err
+		}
+		v = next
+	}
+	return v, nil
+}

@@ -1,0 +1,149 @@
+package vfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mach"
+)
+
+// Robustness tests for the file server's wire codecs: hostile or
+// truncated bytes must fail cleanly, never panic.
+
+func TestUnpackRejectsTruncation(t *testing.T) {
+	good := pack([]byte("abc"), []byte("defg"))
+	if f, ok := unpack(good, 2); !ok || string(f[0]) != "abc" || string(f[1]) != "defg" {
+		t.Fatalf("good unpack failed: %v %v", f, ok)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, ok := unpack(good[:cut], 2); ok {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Length field claiming more bytes than present.
+	bogus := []byte{0xFF, 0xFF, 0xFF, 0x7F, 'x'}
+	if _, ok := unpack(bogus, 1); ok {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestDecodeAttrShort(t *testing.T) {
+	if _, ok := decodeAttr([]byte{1, 2, 3}); ok {
+		t.Fatal("short attr accepted")
+	}
+	a := Attr{Size: 123, Dir: true, ModTime: 9}
+	got, ok := decodeAttr(encodeAttr(a))
+	if !ok || got.Size != 123 || !got.Dir || got.ModTime != 9 {
+		t.Fatalf("round trip: %+v %v", got, ok)
+	}
+}
+
+func TestDecodeDirEntsGarbage(t *testing.T) {
+	if _, ok := decodeDirEnts(nil); ok {
+		t.Fatal("nil accepted")
+	}
+	if _, ok := decodeDirEnts([]byte{9, 0, 0, 0}); ok {
+		t.Fatal("count without entries accepted")
+	}
+	ents := []DirEnt{{Name: "a", Dir: true, Size: 5}, {Name: "bb", Size: 99}}
+	got, ok := decodeDirEnts(encodeDirEnts(ents))
+	if !ok || len(got) != 2 || got[0].Name != "a" || !got[0].Dir || got[1].Size != 99 {
+		t.Fatalf("round trip: %+v %v", got, ok)
+	}
+}
+
+// Property: the dirent codec round-trips arbitrary entries, and the
+// decoder never panics on arbitrary byte soup.
+func TestPropertyDirEntCodec(t *testing.T) {
+	roundTrip := func(names []string, sizes []int64) bool {
+		var ents []DirEnt
+		for i, n := range names {
+			if i >= 12 {
+				break
+			}
+			var sz int64
+			if i < len(sizes) && sizes[i] >= 0 {
+				sz = sizes[i]
+			}
+			ents = append(ents, DirEnt{Name: n, Dir: i%2 == 0, Size: sz})
+		}
+		got, ok := decodeDirEnts(encodeDirEnts(ents))
+		if !ok || len(got) != len(ents) {
+			return false
+		}
+		for i := range ents {
+			if got[i] != ents[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	noPanic := func(soup []byte) bool {
+		decodeDirEnts(soup)
+		decodeAttr(soup)
+		unpack(soup, 3)
+		fromWire(string(soup))
+		return true
+	}
+	if err := quick.Check(noPanic, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromWireMapsAllSentinels(t *testing.T) {
+	for _, e := range wireErrors {
+		if fromWire(e.Error()) != e {
+			t.Fatalf("sentinel %v lost", e)
+		}
+	}
+	if fromWire("random junk").Error() != "random junk" {
+		t.Fatal("unknown error mangled")
+	}
+}
+
+func TestProfileStrings(t *testing.T) {
+	if ProfileOS2.String() != "OS/2" || ProfileUNIX.String() != "UNIX" ||
+		ProfileTalOS.String() != "TalOS" || Profile(99).String() != "?" {
+		t.Fatal("profile strings")
+	}
+}
+
+// TestServerSurvivesMalformedRequests: raw hostile messages to the
+// control and file ports must produce error replies, never kill the
+// server task.
+func TestServerSurvivesMalformedRequests(t *testing.T) {
+	k, srv, c := newServerRig(t)
+	_, _ = k, srv
+	// Get a real file port to attack.
+	f, err := c.Open("/victim", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := func(port mach.PortName, id mach.MsgID, body []byte) {
+		reply, err := c.th.RPC(port, &mach.Message{ID: id, Body: body})
+		if err != nil {
+			t.Fatalf("RPC died (server crashed?): %v", err)
+		}
+		if reply.ID == 0 && id != MsgSync && id != MsgReadDir && id != MsgStat && id != MsgRemove {
+			t.Fatalf("malformed %v accepted", id)
+		}
+	}
+	for _, id := range []mach.MsgID{MsgOpen, MsgMkdir, MsgRename, MsgSetEA, MsgGetEA} {
+		attack(c.ctrl, id, nil)
+		attack(c.ctrl, id, []byte{1, 2})
+	}
+	for _, id := range []mach.MsgID{MsgRead, MsgWrite, MsgTruncate} {
+		attack(f.port, id, nil)
+		attack(f.port, id, []byte{1})
+	}
+	// The server still works afterwards.
+	if _, err := f.WriteAt([]byte("alive"), 0); err != nil {
+		t.Fatalf("server wedged after attack: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

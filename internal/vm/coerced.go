@@ -1,0 +1,75 @@
+package vm
+
+// Coerced memory is the paper's most important VM change: shared memory
+// that is shared at the same range of addresses in every address space.
+// OS/2 programs assume that shared memory appears at identical addresses
+// everywhere, so the microkernel reserves a global arena and hands out
+// ranges that are unique machine-wide; any map can then attach a coerced
+// region only at its assigned address.
+
+// CoercedRegion is a handle on an allocated coerced range.
+type CoercedRegion struct {
+	Start VAddr
+	Size  uint64
+	obj   *Object
+}
+
+// Object returns the VM object backing the region (for advanced callers
+// such as the loader, which coerces shared libraries).
+func (c *CoercedRegion) Object() *Object { return c.obj }
+
+// AllocateCoerced reserves a coerced range of the given size, backed by a
+// fresh anonymous object.  The range is globally unique: no other coerced
+// region will ever overlap it.
+func (s *System) AllocateCoerced(size uint64, tag string) (*CoercedRegion, error) {
+	if size == 0 || size%PageSize != 0 {
+		return nil, ErrUnaligned
+	}
+	obj := s.NewObject(size, "coerced:"+tag)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.coercedNext
+	if VAddr(uint64(start)+size) > s.coercedTop {
+		return nil, ErrNoSpace
+	}
+	s.coercedNext = VAddr(uint64(start) + size)
+	r := &coercedRegion{start: start, size: size, obj: obj}
+	s.coerced[start] = r
+	return &CoercedRegion{Start: start, Size: size, obj: obj}, nil
+}
+
+// AttachCoerced maps the coerced region into this map at its fixed
+// address.  Because the arena is reserved machine-wide, the address is
+// guaranteed free unless the map has already attached it (or has abused
+// the arena with a fixed-address allocation, which is an error).
+func (m *Map) AttachCoerced(r *CoercedRegion) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := VAddr(uint64(r.Start) + r.Size)
+	for _, e := range m.entries {
+		if r.Start < e.end && end > e.start {
+			return ErrBadCoercedFit
+		}
+	}
+	r.obj.mu.Lock()
+	r.obj.refs++
+	r.obj.mu.Unlock()
+	m.insert(&entry{
+		start: r.Start, end: end,
+		obj: r.obj, prot: ProtRW, maxProt: ProtAll, coerced: true,
+	})
+	return nil
+}
+
+// DetachCoerced removes the coerced mapping from this map.  The region
+// itself (and its contents) survives for other spaces.
+func (m *Map) DetachCoerced(r *CoercedRegion) error {
+	return m.Deallocate(r.Start, r.Size)
+}
+
+// CoercedRegions reports how many coerced regions have been allocated.
+func (s *System) CoercedRegions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.coerced)
+}

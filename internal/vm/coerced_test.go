@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoercedSameAddressEverywhere(t *testing.T) {
+	s := newSys()
+	r, err := s.AllocateCoerced(4*PageSize, "os2-shared")
+	if err != nil {
+		t.Fatalf("AllocateCoerced: %v", err)
+	}
+	m1 := s.NewMap(0)
+	m2 := s.NewMap(0)
+	m3 := s.NewMap(0)
+	for _, m := range []*Map{m1, m2, m3} {
+		if err := m.AttachCoerced(r); err != nil {
+			t.Fatalf("AttachCoerced: %v", err)
+		}
+	}
+	// A write through one space is visible at the SAME address in all.
+	if err := m1.Write(r.Start+8, []byte("coerced!")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for i, m := range []*Map{m2, m3} {
+		got, err := m.Read(r.Start+8, 8)
+		if err != nil || string(got) != "coerced!" {
+			t.Fatalf("map %d: got %q err %v", i, got, err)
+		}
+	}
+}
+
+func TestCoercedRangesNeverOverlap(t *testing.T) {
+	s := newSys()
+	r1, _ := s.AllocateCoerced(4*PageSize, "a")
+	r2, _ := s.AllocateCoerced(8*PageSize, "b")
+	if r1.Start+VAddr(r1.Size) > r2.Start {
+		t.Fatalf("regions overlap: %x+%x vs %x", r1.Start, r1.Size, r2.Start)
+	}
+	if s.CoercedRegions() != 2 {
+		t.Fatalf("regions = %d", s.CoercedRegions())
+	}
+}
+
+func TestCoercedDoubleAttachFails(t *testing.T) {
+	s := newSys()
+	r, _ := s.AllocateCoerced(PageSize, "x")
+	m := s.NewMap(0)
+	if err := m.AttachCoerced(r); err != nil {
+		t.Fatalf("first attach: %v", err)
+	}
+	if err := m.AttachCoerced(r); err != ErrBadCoercedFit {
+		t.Fatalf("second attach err = %v", err)
+	}
+}
+
+func TestCoercedDetach(t *testing.T) {
+	s := newSys()
+	r, _ := s.AllocateCoerced(PageSize, "x")
+	m1 := s.NewMap(0)
+	m2 := s.NewMap(0)
+	m1.AttachCoerced(r)
+	m2.AttachCoerced(r)
+	m1.Write(r.Start, []byte{0xAB})
+	if err := m1.DetachCoerced(r); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if _, err := m1.Read(r.Start, 1); err == nil {
+		t.Fatal("detached mapping should fault")
+	}
+	// Contents survive for the other space.
+	got, err := m2.Read(r.Start, 1)
+	if err != nil || got[0] != 0xAB {
+		t.Fatalf("other space lost data: %v %v", got, err)
+	}
+	// Re-attach sees the same contents.
+	if err := m1.AttachCoerced(r); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	got, _ = m1.Read(r.Start, 1)
+	if got[0] != 0xAB {
+		t.Fatal("re-attached region lost contents")
+	}
+}
+
+func TestCoercedUnaligned(t *testing.T) {
+	s := newSys()
+	if _, err := s.AllocateCoerced(100, "bad"); err != ErrUnaligned {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCoercedArenaExhaustion(t *testing.T) {
+	s := newSys()
+	arena := uint64(CoercedArenaTop - CoercedArenaBase)
+	if _, err := s.AllocateCoerced(arena+PageSize, "huge"); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+// Property: any interleaving of coerced allocations yields pairwise
+// disjoint ranges, all inside the arena.
+func TestPropertyCoercedDisjoint(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := newSys()
+		type rng struct{ a, b uint64 }
+		var got []rng
+		for _, sz := range sizes {
+			n := (uint64(sz%16) + 1) * PageSize
+			r, err := s.AllocateCoerced(n, "p")
+			if err != nil {
+				return false
+			}
+			got = append(got, rng{uint64(r.Start), uint64(r.Start) + r.Size})
+		}
+		for i := range got {
+			if got[i].a < uint64(CoercedArenaBase) || got[i].b > uint64(CoercedArenaTop) {
+				return false
+			}
+			for j := i + 1; j < len(got); j++ {
+				if got[i].a < got[j].b && got[j].a < got[i].b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package vm
+
+import "sync"
+
+// Page eviction: when physical memory is exhausted, the system writes a
+// victim page to its backing pager (the Microkernel Services default
+// pager for anonymous memory, the file server for mapped files), drops
+// the frame and invalidates every mapping of it.  The next touch faults
+// the page back in through the external memory management interface.
+// This is the machinery that lets a 16 MB machine run a 24 MB working
+// set — slowly, which is the point of the Table 1 memory asymmetry.
+
+// residentPage is one eviction candidate.
+type residentPage struct {
+	obj     *Object
+	pageIdx uint64
+	frame   uint64
+}
+
+// mapping records where a frame is entered in a pmap, for shootdown.
+type mapping struct {
+	m  *Map
+	va VAddr
+}
+
+// evictState lives on the System.
+type evictState struct {
+	mu       sync.Mutex
+	backing  Pager
+	resident []residentPage       // FIFO eviction order
+	rev      map[uint64][]mapping // frame -> mappings
+	evicted  uint64
+}
+
+// SetDefaultPager installs the pager that backs anonymous memory under
+// eviction.  Without one, anonymous pages are wired and allocation
+// failures surface as ErrOutOfMemory, the pre-R2 behaviour.
+func (s *System) SetDefaultPager(p Pager) {
+	s.ev.mu.Lock()
+	s.ev.backing = p
+	if s.ev.rev == nil {
+		s.ev.rev = make(map[uint64][]mapping)
+	}
+	s.ev.mu.Unlock()
+}
+
+// Evictions reports how many pages have been paged out.
+func (s *System) Evictions() uint64 {
+	s.ev.mu.Lock()
+	defer s.ev.mu.Unlock()
+	return s.ev.evicted
+}
+
+// noteResident registers a freshly filled frame as an eviction candidate.
+func (s *System) noteResident(obj *Object, pageIdx, frame uint64) {
+	s.ev.mu.Lock()
+	s.ev.resident = append(s.ev.resident, residentPage{obj, pageIdx, frame})
+	s.ev.mu.Unlock()
+}
+
+// noteMapping records a pmap entry for shootdown on eviction.
+func (s *System) noteMapping(frame uint64, m *Map, va VAddr) {
+	s.ev.mu.Lock()
+	if s.ev.rev == nil {
+		s.ev.rev = make(map[uint64][]mapping)
+	}
+	s.ev.rev[frame] = append(s.ev.rev[frame], mapping{m, va})
+	s.ev.mu.Unlock()
+}
+
+// allocFrame gets a frame, evicting under pressure.
+func (s *System) allocFrame() (uint64, error) {
+	for attempt := 0; ; attempt++ {
+		f, err := s.Phys.alloc()
+		if err == nil {
+			return f, nil
+		}
+		if attempt >= 64 {
+			return 0, ErrOutOfMemory
+		}
+		if !s.evictOne() {
+			return 0, ErrOutOfMemory
+		}
+	}
+}
+
+// pagerFor returns the pager backing an object under eviction.
+func (s *System) pagerFor(obj *Object) Pager {
+	if obj.pager != nil {
+		return obj.pager
+	}
+	s.ev.mu.Lock()
+	defer s.ev.mu.Unlock()
+	return s.ev.backing
+}
+
+// evictOne writes one victim page out and frees its frame.  It reports
+// whether a frame was reclaimed.
+func (s *System) evictOne() bool {
+	for {
+		s.ev.mu.Lock()
+		if len(s.ev.resident) == 0 {
+			s.ev.mu.Unlock()
+			return false
+		}
+		victim := s.ev.resident[0]
+		s.ev.resident = s.ev.resident[1:]
+		s.ev.mu.Unlock()
+
+		// The page may already be gone (freed with its object).
+		victim.obj.mu.Lock()
+		cur, ok := victim.obj.pages[victim.pageIdx]
+		if !ok || cur != victim.frame {
+			victim.obj.mu.Unlock()
+			continue
+		}
+		pager := victim.obj.pager
+		victim.obj.mu.Unlock()
+		if pager == nil {
+			s.ev.mu.Lock()
+			pager = s.ev.backing
+			s.ev.mu.Unlock()
+		}
+		if pager == nil {
+			// Unevictable (no backing store): rotate to the back so
+			// other candidates get a chance, give up if it cycles.
+			s.ev.mu.Lock()
+			s.ev.resident = append(s.ev.resident, victim)
+			allWired := true
+			for _, r := range s.ev.resident {
+				if r.obj.pager != nil {
+					allWired = false
+					break
+				}
+			}
+			s.ev.mu.Unlock()
+			if allWired {
+				return false
+			}
+			continue
+		}
+
+		data := s.Phys.data(victim.frame)
+		if data == nil {
+			continue
+		}
+		if err := pager.PageOut(victim.obj, victim.pageIdx*PageSize, data); err != nil {
+			return false
+		}
+
+		// Detach from the object and shoot down mappings.
+		victim.obj.mu.Lock()
+		if victim.obj.pages[victim.pageIdx] == victim.frame {
+			delete(victim.obj.pages, victim.pageIdx)
+		}
+		// Anonymous objects gain the backing pager so the page comes
+		// back with its contents rather than zero-fill.
+		if victim.obj.pager == nil {
+			victim.obj.pager = pager
+		}
+		victim.obj.mu.Unlock()
+
+		s.ev.mu.Lock()
+		maps := s.ev.rev[victim.frame]
+		delete(s.ev.rev, victim.frame)
+		s.ev.evicted++
+		s.ev.mu.Unlock()
+		for _, mp := range maps {
+			mp.m.mu.Lock()
+			if f, _, ok := mp.m.pmap.lookup(mp.va); ok && f == victim.frame {
+				mp.m.pmap.remove(mp.va)
+			}
+			mp.m.mu.Unlock()
+		}
+		s.Phys.free(victim.frame)
+		return true
+	}
+}

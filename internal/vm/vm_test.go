@@ -1,0 +1,425 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newSys() *System { return NewSystem(64 << 20) } // 64 MB like the paper's PPC box
+
+func TestAllocateLazy(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, err := m.Allocate(0, 10*PageSize, true)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if s.Phys.UsedFrames() != 0 {
+		t.Fatal("lazy allocation must not consume frames")
+	}
+	// First touch faults in exactly one zero-filled page.
+	data, err := m.Read(a, 16)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(data, make([]byte, 16)) {
+		t.Fatal("zero-fill page not zero")
+	}
+	if s.Phys.UsedFrames() != 1 {
+		t.Fatalf("frames = %d, want 1", s.Phys.UsedFrames())
+	}
+	if st := m.Stats(); st.ZeroFills != 1 || st.Faults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAllocateAlignment(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	if _, err := m.Allocate(0, 100, true); err != ErrUnaligned {
+		t.Fatalf("unaligned size err = %v", err)
+	}
+	if _, err := m.Allocate(123, PageSize, false); err != ErrUnaligned {
+		t.Fatalf("unaligned addr err = %v", err)
+	}
+}
+
+func TestAllocateFixedOverlap(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	if _, err := m.Allocate(0x10000, 4*PageSize, false); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if _, err := m.Allocate(0x11000, PageSize, false); err != ErrOverlap {
+		t.Fatalf("overlap err = %v", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 4*PageSize, true)
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	// Straddle a page boundary.
+	addr := a + VAddr(PageSize) - 10
+	if err := m.Write(addr, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := m.Read(addr, uint64(len(msg)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestDeallocateFreesFrames(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 4*PageSize, true)
+	m.Write(a, bytes.Repeat([]byte{1}, 4*PageSize))
+	if s.Phys.UsedFrames() != 4 {
+		t.Fatalf("frames = %d, want 4", s.Phys.UsedFrames())
+	}
+	if err := m.Deallocate(a, 4*PageSize); err != nil {
+		t.Fatalf("Deallocate: %v", err)
+	}
+	if s.Phys.UsedFrames() != 0 {
+		t.Fatalf("frames after dealloc = %d, want 0", s.Phys.UsedFrames())
+	}
+	if _, err := m.Read(a, 1); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("read after dealloc err = %v", err)
+	}
+}
+
+func TestDeallocateSplitsEntry(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 8*PageSize, true)
+	m.Write(a, []byte{1})
+	m.Write(a+VAddr(7*PageSize), []byte{2})
+	// Punch a hole in the middle.
+	if err := m.Deallocate(a+VAddr(2*PageSize), 4*PageSize); err != nil {
+		t.Fatalf("Deallocate: %v", err)
+	}
+	if m.Entries() != 2 {
+		t.Fatalf("entries = %d, want 2 after split", m.Entries())
+	}
+	if _, err := m.Read(a, 1); err != nil {
+		t.Fatalf("left half gone: %v", err)
+	}
+	if _, err := m.Read(a+VAddr(3*PageSize), 1); !errors.Is(err, ErrBadAddress) {
+		t.Fatal("hole should be unmapped")
+	}
+	if _, err := m.Read(a+VAddr(7*PageSize), 1); err != nil {
+		t.Fatalf("right half gone: %v", err)
+	}
+}
+
+func TestProtect(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 2*PageSize, true)
+	m.Write(a, []byte{1, 2, 3})
+	if err := m.Protect(a, 2*PageSize, ProtRead); err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if err := m.Write(a, []byte{9}); !errors.Is(err, ErrProtection) {
+		t.Fatalf("write to read-only err = %v", err)
+	}
+	if _, err := m.Read(a, 3); err != nil {
+		t.Fatalf("read should still work: %v", err)
+	}
+	if err := m.Protect(a+0x100, PageSize, ProtRead); err != ErrUnaligned {
+		t.Fatalf("unaligned protect err = %v", err)
+	}
+	if err := m.Protect(0xB0000000, PageSize, ProtRead); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("protect unmapped err = %v", err)
+	}
+}
+
+func TestCopyOnWriteSharesUntilWrite(t *testing.T) {
+	s := newSys()
+	src := s.NewMap(0)
+	dst := s.NewMap(0)
+	a, _ := src.Allocate(0, 4*PageSize, true)
+	payload := bytes.Repeat([]byte{7}, PageSize)
+	src.Write(a, payload)
+	frames0 := s.Phys.UsedFrames()
+
+	const dstAddr = VAddr(0x30000000)
+	if err := dst.Copy(src, a, 4*PageSize, dstAddr); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	// Reading through the copy shares frames.
+	got, err := dst.Read(dstAddr, PageSize)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("copy does not see source data")
+	}
+	if s.Phys.UsedFrames() != frames0 {
+		t.Fatalf("read faults should not copy: frames %d -> %d", frames0, s.Phys.UsedFrames())
+	}
+
+	// Writing breaks the share.
+	if err := dst.Write(dstAddr, []byte{42}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if s.Phys.UsedFrames() != frames0+1 {
+		t.Fatalf("COW write should allocate one frame: %d -> %d", frames0, s.Phys.UsedFrames())
+	}
+	// Source unchanged.
+	sgot, _ := src.Read(a, 1)
+	if sgot[0] != 7 {
+		t.Fatalf("source corrupted by COW write: %d", sgot[0])
+	}
+	dgot, _ := dst.Read(dstAddr, 1)
+	if dgot[0] != 42 {
+		t.Fatalf("dest lost its write: %d", dgot[0])
+	}
+	if dst.Stats().CowCopies == 0 {
+		t.Fatal("cow counter not incremented")
+	}
+}
+
+type testPager struct {
+	fill    byte
+	fail    bool
+	ins     int
+	outs    int
+	lastOut []byte
+}
+
+func (p *testPager) PageIn(o *Object, off uint64) ([]byte, error) {
+	if p.fail {
+		return nil, errors.New("backing store offline")
+	}
+	p.ins++
+	b := make([]byte, PageSize)
+	for i := range b {
+		b[i] = p.fill + byte(off/PageSize)
+	}
+	return b, nil
+}
+
+func (p *testPager) PageOut(o *Object, off uint64, data []byte) error {
+	p.outs++
+	p.lastOut = data
+	return nil
+}
+
+func TestExternalPagerPageIn(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	pg := &testPager{fill: 0x10}
+	obj := s.NewPagedObject(8*PageSize, pg, "file:test")
+	a, err := m.MapObject(0, 8*PageSize, obj, 0, ProtRW, true)
+	if err != nil {
+		t.Fatalf("MapObject: %v", err)
+	}
+	b, err := m.Read(a+VAddr(2*PageSize), 4)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if b[0] != 0x12 {
+		t.Fatalf("paged data = %#x, want 0x12", b[0])
+	}
+	if pg.ins != 1 {
+		t.Fatalf("pager called %d times, want 1", pg.ins)
+	}
+	// Second read hits the resident page.
+	m.Read(a+VAddr(2*PageSize), 4)
+	if pg.ins != 1 {
+		t.Fatal("resident page must not re-page-in")
+	}
+	if m.Stats().PageIns != 1 {
+		t.Fatalf("stats.PageIns = %d", m.Stats().PageIns)
+	}
+}
+
+func TestExternalPagerFailure(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	pg := &testPager{fail: true}
+	obj := s.NewPagedObject(PageSize, pg, "file:bad")
+	a, _ := m.MapObject(0, PageSize, obj, 0, ProtRW, true)
+	if _, err := m.Read(a, 1); !errors.Is(err, ErrPagerFailure) {
+		t.Fatalf("err = %v, want ErrPagerFailure", err)
+	}
+	if s.Phys.UsedFrames() != 0 {
+		t.Fatal("failed page-in leaked a frame")
+	}
+}
+
+func TestMapObjectSharedBetweenSpaces(t *testing.T) {
+	s := newSys()
+	obj := s.NewObject(2*PageSize, "shared")
+	m1 := s.NewMap(0)
+	m2 := s.NewMap(0)
+	a1, _ := m1.MapObject(0, 2*PageSize, obj, 0, ProtRW, true)
+	a2, _ := m2.MapObject(0, 2*PageSize, obj, 0, ProtRW, true)
+	m1.Write(a1, []byte("shared-data"))
+	got, err := m2.Read(a2, 11)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(got) != "shared-data" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s := NewSystem(2 * PageSize)
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 8*PageSize, true)
+	if err := m.Write(a, bytes.Repeat([]byte{1}, 2*PageSize)); err != nil {
+		t.Fatalf("first two pages: %v", err)
+	}
+	if err := m.Write(a+VAddr(2*PageSize), []byte{1}); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestResidentPagesTracksPmap(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 16*PageSize, true)
+	for i := 0; i < 5; i++ {
+		m.Write(a+VAddr(i*PageSize), []byte{byte(i)})
+	}
+	if m.ResidentPages() != 5 {
+		t.Fatalf("resident = %d, want 5", m.ResidentPages())
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if ProtRW.String() != "rw-" || ProtNone.String() != "---" || ProtAll.String() != "rwx" {
+		t.Fatal("Prot.String broken")
+	}
+}
+
+// Property: for any write within an allocated region, reading the same
+// range returns the written bytes (fault handling is transparent).
+func TestPropertyWriteReadConsistent(t *testing.T) {
+	s := newSys()
+	m := s.NewMap(0)
+	a, _ := m.Allocate(0, 64*PageSize, true)
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 3*PageSize {
+			data = data[:3*PageSize]
+		}
+		o := VAddr(off % (60 * PageSize))
+		if err := m.Write(a+o, data); err != nil {
+			return false
+		}
+		got, err := m.Read(a+o, uint64(len(data)))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: COW never lets a write in one map leak into the other, in
+// either direction, at any page offset.
+func TestPropertyCowIsolation(t *testing.T) {
+	f := func(pageIdx uint8, val byte) bool {
+		s := newSys()
+		src := s.NewMap(0)
+		dst := s.NewMap(0)
+		const n = 8
+		a, _ := src.Allocate(0, n*PageSize, true)
+		for i := 0; i < n; i++ {
+			src.Write(a+VAddr(i*PageSize), []byte{byte(i + 1)})
+		}
+		const da = VAddr(0x30000000)
+		if err := dst.Copy(src, a, n*PageSize, da); err != nil {
+			return false
+		}
+		idx := int(pageIdx) % n
+		// Write to dst; src must keep its original value.
+		dst.Write(da+VAddr(idx*PageSize), []byte{val})
+		sv, err := src.Read(a+VAddr(idx*PageSize), 1)
+		if err != nil || sv[0] != byte(idx+1) {
+			return false
+		}
+		dv, err := dst.Read(da+VAddr(idx*PageSize), 1)
+		return err == nil && dv[0] == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: after the first COW write interposes the shadow, writes to
+// OTHER pages of the same entry must also copy up rather than write
+// through to the source object's frames.
+func TestCowMultiPageIsolation(t *testing.T) {
+	s := newSys()
+	src := s.NewMap(0)
+	dst := s.NewMap(0)
+	const n = 8
+	a, _ := src.Allocate(0, n*PageSize, true)
+	for i := 0; i < n; i++ {
+		src.Write(a+VAddr(i*PageSize), []byte{byte(0x10 + i)})
+	}
+	const da = VAddr(0x30000000)
+	if err := dst.Copy(src, a, n*PageSize, da); err != nil {
+		t.Fatal(err)
+	}
+	f0 := s.Phys.UsedFrames()
+	// Write every page in the destination.
+	for i := 0; i < n; i++ {
+		if err := dst.Write(da+VAddr(i*PageSize), []byte{byte(0xA0 + i)}); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+	// Every page must have been copied: n new frames.
+	if got := s.Phys.UsedFrames() - f0; got != n {
+		t.Fatalf("COW copied %d frames, want %d", got, n)
+	}
+	// The source is untouched on every page.
+	for i := 0; i < n; i++ {
+		b, err := src.Read(a+VAddr(i*PageSize), 1)
+		if err != nil || b[0] != byte(0x10+i) {
+			t.Fatalf("source page %d corrupted: %v %v", i, b, err)
+		}
+		b, err = dst.Read(da+VAddr(i*PageSize), 1)
+		if err != nil || b[0] != byte(0xA0+i) {
+			t.Fatalf("dest page %d wrong: %v %v", i, b, err)
+		}
+	}
+}
+
+// Regression: a read through the copy maps the shared frame write-
+// protected, so a subsequent write still faults and copies.
+func TestCowReadThenWrite(t *testing.T) {
+	s := newSys()
+	src := s.NewMap(0)
+	dst := s.NewMap(0)
+	a, _ := src.Allocate(0, 2*PageSize, true)
+	src.Write(a, []byte{7})
+	const da = VAddr(0x30000000)
+	dst.Copy(src, a, 2*PageSize, da)
+	// Read first (shares the frame), then write.
+	if b, err := dst.Read(da, 1); err != nil || b[0] != 7 {
+		t.Fatalf("read: %v %v", b, err)
+	}
+	if err := dst.Write(da, []byte{9}); err != nil {
+		t.Fatalf("write after read: %v", err)
+	}
+	if b, _ := src.Read(a, 1); b[0] != 7 {
+		t.Fatalf("source corrupted after read-then-write: %d", b[0])
+	}
+	if b, _ := dst.Read(da, 1); b[0] != 9 {
+		t.Fatalf("dest lost write: %d", b[0])
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/drivers"
+	"repro/internal/mach"
+	"repro/internal/mono"
+	"repro/internal/vfs"
+)
+
+func nativeEnv(t testing.TB, memoryMB int) Env {
+	t.Helper()
+	k := mach.New(cpu.Pentium133())
+	fb := drivers.NewFramebuffer(k.CPU, 0xA0000, 640, 480)
+	s := mono.New(k, uint64(memoryMB)<<20, fb)
+	if err := s.Mount("/", vfs.NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	return Env{
+		Name: "native",
+		NewProcess: func(name string) (OS2Process, error) {
+			return s.CreateProcess(name)
+		},
+		Eng:      k.CPU,
+		FB:       fb,
+		MemoryMB: memoryMB,
+	}
+}
+
+func TestAllRowsRun(t *testing.T) {
+	for _, row := range Rows {
+		env := nativeEnv(t, 64)
+		res, err := Run(row, env)
+		if err != nil {
+			t.Fatalf("%s: %v", row, err)
+		}
+		if res.Cycles == 0 {
+			t.Fatalf("%s consumed no cycles", row)
+		}
+		if res.Row != row || res.Env != "native" {
+			t.Fatalf("result mislabeled: %+v", res)
+		}
+		if Content(row) == "" {
+			t.Fatalf("%s has no application content", row)
+		}
+	}
+}
+
+func TestUnknownRow(t *testing.T) {
+	env := nativeEnv(t, 64)
+	if _, err := Run(Row("Bogus"), env); err == nil {
+		t.Fatal("unknown row must fail")
+	}
+}
+
+func TestMemoryPressureChargesOnlyWhenOverflowing(t *testing.T) {
+	env := nativeEnv(t, 16)
+	base := env.Eng.Counters()
+	memoryPressure(env, 8, 100) // fits
+	if d := env.Eng.Counters().Sub(base); d.Cycles != 0 {
+		t.Fatalf("fitting working set charged %d cycles", d.Cycles)
+	}
+	base = env.Eng.Counters()
+	memoryPressure(env, 32, 100) // 50% overflow
+	d := env.Eng.Counters().Sub(base)
+	if d.Cycles < 40*pageInStall {
+		t.Fatalf("overflow charged too little: %d", d.Cycles)
+	}
+}
+
+// TestGraphicsRowsScaleWithIntensity: more fills and bigger working sets
+// must consume more cycles at fixed memory.
+func TestGraphicsRowsScaleWithIntensity(t *testing.T) {
+	var prev uint64
+	for _, row := range []Row{GraphicsLow, GraphicsMedium, GraphicsHigh} {
+		env := nativeEnv(t, 16)
+		res, err := Run(row, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles <= prev {
+			t.Fatalf("%s (%d cycles) should exceed the previous row (%d)", row, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+// TestMemorySizeChangesGraphicsCost: the same row on a 16 MB machine
+// costs more than on a 64 MB machine — the Table 1 mechanism.
+func TestMemorySizeChangesGraphicsCost(t *testing.T) {
+	small := nativeEnv(t, 16)
+	big := nativeEnv(t, 64)
+	rs, err := Run(GraphicsHigh, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(GraphicsHigh, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles <= rb.Cycles {
+		t.Fatalf("16MB run (%d) should exceed 64MB run (%d)", rs.Cycles, rb.Cycles)
+	}
+}
