@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: all build test check tables
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-2 gate: vet + race detector on the concurrency-heavy packages.
+check:
+	sh scripts/check.sh
+
+tables:
+	$(GO) run ./cmd/benchtables

@@ -10,9 +10,11 @@
 //	benchtables -only ipc  # the IPC rework sweep
 //	benchtables -only fig1 # the architecture figure
 //	benchtables -only extras  # E5-E10 ablations
+//	benchtables -json results.json  # also write machine-readable records
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +23,26 @@ import (
 	"repro/internal/core"
 )
 
+// record is one measured number in the -json output: which table it belongs
+// to, what it measures, the measured value, and the published value when the
+// paper prints one (0 otherwise).
+type record struct {
+	Table    string  `json:"table"`
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Measured float64 `json:"measured"`
+	Paper    float64 `json:"paper,omitempty"`
+}
+
+var records []record
+
+func emit(table, name, metric string, measured, paper float64) {
+	records = append(records, record{Table: table, Name: name, Metric: metric, Measured: measured, Paper: paper})
+}
+
 func main() {
 	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras (default all)")
+	jsonPath := flag.String("json", "", "also write the regenerated numbers as JSON records to this path")
 	flag.Parse()
 	run := func(name string) bool { return *only == "" || *only == name }
 	if run("fig1") {
@@ -39,6 +59,25 @@ func main() {
 	}
 	if run("extras") {
 		extras()
+	}
+	if *jsonPath != "" {
+		writeJSON(*jsonPath)
+	}
+}
+
+func writeJSON(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 
@@ -76,9 +115,13 @@ func table1() {
 	for _, r := range rows {
 		fmt.Printf("%-19s %-24s %12d %14d %8.2f %8.2f\n",
 			r.Row, r.Content, r.WPOS, r.Native, r.Ratio, r.Paper)
+		emit("table1", string(r.Row), "wpos_cycles", float64(r.WPOS), 0)
+		emit("table1", string(r.Row), "native_cycles", float64(r.Native), 0)
+		emit("table1", string(r.Row), "ratio", r.Ratio, r.Paper)
 	}
 	m, p := bench.Overall(rows)
 	fmt.Printf("%-19s %-24s %12s %14s %8.2f %8.2f\n", "Overall", "", "", "", m, p)
+	emit("table1", "Overall", "ratio", m, p)
 	fmt.Println()
 }
 
@@ -103,6 +146,14 @@ func table2() {
 	row("Cycles", t.TrapCycles, t.RPCCycles, gc, pp.TrapCycles, pp.RPCCycles, pc, "%.0f")
 	row("Bus Cycles", t.TrapBus, t.RPCBus, gb, pp.TrapBus, pp.RPCBus, pb, "%.0f")
 	row("CPI", t.TrapCPI, t.RPCCPI, gcpi, pp.TrapCPI, pp.RPCCPI, pcpi, "%.2f")
+	emit("table2", "thread_self", "instructions", t.TrapInstr, pp.TrapInstr)
+	emit("table2", "thread_self", "cycles", t.TrapCycles, pp.TrapCycles)
+	emit("table2", "thread_self", "bus_cycles", t.TrapBus, pp.TrapBus)
+	emit("table2", "thread_self", "cpi", t.TrapCPI, pp.TrapCPI)
+	emit("table2", "rpc_32byte", "instructions", t.RPCInstr, pp.RPCInstr)
+	emit("table2", "rpc_32byte", "cycles", t.RPCCycles, pp.RPCCycles)
+	emit("table2", "rpc_32byte", "bus_cycles", t.RPCBus, pp.RPCBus)
+	emit("table2", "rpc_32byte", "cpi", t.RPCCPI, pp.RPCCPI)
 	fmt.Println()
 	fmt.Println(bench.TrapVsRPCNote(t))
 	fmt.Println()
@@ -119,6 +170,7 @@ func ipcSweep() {
 	fmt.Printf("%10s %14s %14s %10s\n", "bytes", "old (cycles)", "new (cycles)", "speedup")
 	for _, p := range pts {
 		fmt.Printf("%10d %14d %14d %9.2fx\n", p.Size, p.OldCycles, p.NewCycles, p.Speedup)
+		emit("ipc", fmt.Sprintf("%d bytes", p.Size), "speedup", p.Speedup, 0)
 	}
 	fmt.Println()
 }
@@ -133,6 +185,7 @@ func extras() {
 	}
 	fmt.Printf("E5  name service:       X.500-style %d cycles/lookup vs simplified %d  (%.1fx)\n",
 		ns.FullCycles, ns.SimpleCycles, ns.Ratio)
+	emit("extras", "E5 name service", "ratio", ns.Ratio, 0)
 
 	obj, err := bench.Objects()
 	if err != nil {
@@ -140,6 +193,7 @@ func extras() {
 	}
 	fmt.Printf("E6  object systems:     fine-grained %d cycles/datagram vs MK++-style %d  (%.2fx, %d B class metadata)\n",
 		obj.FineCycles, obj.CoarseCycles, obj.Ratio, obj.MetadataBytes)
+	emit("extras", "E6 object systems", "ratio", obj.Ratio, 0)
 
 	mem, err := bench.MemFootprint()
 	if err != nil {
@@ -165,6 +219,7 @@ func extras() {
 	fmt.Printf("E9  driver models:      ")
 	for _, r := range drv {
 		fmt.Printf("[%s %d cycles/op] ", r.Model, r.Cycles)
+		emit("extras", "E9 "+r.Model, "cycles_per_op", float64(r.Cycles), 0)
 	}
 	fmt.Println()
 

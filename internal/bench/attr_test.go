@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestAttributionFileIntensive1 is the E-ATTR gate: the traced run must be
+// bit-identical to the untraced run (observation-only tracing), nothing
+// may fall out of the ring, and the boundary-crossing subsystems must
+// explain at least 60% of the WPOS-vs-native cycle gap.
+func TestAttributionFileIntensive1(t *testing.T) {
+	res, err := Attribution("File Intensive 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracedCycles != res.WPOSCycles {
+		t.Errorf("tracing perturbed the run: traced %d cycles, untraced %d",
+			res.TracedCycles, res.WPOSCycles)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("trace ring wrapped: %d events dropped", res.Dropped)
+	}
+	if res.Gap == 0 {
+		t.Fatalf("no WPOS-vs-native gap to attribute (wpos %d, native %d)",
+			res.WPOSCycles, res.NativeCycles)
+	}
+	if res.CrossingShare < 0.60 {
+		t.Errorf("crossing subsystems explain only %.1f%% of the gap, want >= 60%%\nattribution: %+v",
+			100*res.CrossingShare, res.Subsystems)
+	}
+	if len(res.Subsystems) < 3 {
+		t.Errorf("attribution saw only %d subsystems: %+v", len(res.Subsystems), res.Subsystems)
+	}
+}

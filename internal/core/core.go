@@ -21,6 +21,7 @@ import (
 	"repro/internal/jfs"
 	"repro/internal/ksync"
 	"repro/internal/ktime"
+	"repro/internal/ktrace"
 	"repro/internal/loader"
 	"repro/internal/mach"
 	"repro/internal/mvm"
@@ -130,6 +131,18 @@ func Boot(cfg Config) (*System, error) {
 	s.Kernel = mach.New(cfg.CPU)
 	layout := s.Kernel.Layout()
 	s.VM = vm.NewSystem(uint64(cfg.MemoryMB) << 20)
+	// VM fault observation for ktrace: the hook fires only when a tracer
+	// is attached to this kernel's engine and never charges the model.
+	eng := s.Kernel.CPU
+	s.VM.SetFaultObserver(func(asid, addr uint64, write bool) {
+		if t := ktrace.For(eng); t != nil {
+			kind := "fault:read"
+			if write {
+				kind = "fault:write"
+			}
+			t.Emit(ktrace.EvVMFault, "vm", kind, ktrace.SpanContext{}, addr|asid<<48)
+		}
+	})
 	s.Clock = ktime.NewClock(s.Kernel.CPU, layout, 133)
 	s.Sync = ksync.NewFactory(s.Kernel.CPU, layout)
 	log("microkernel: IPC/RPC, VM, tasks/threads, hosts, I/O, clocks, synchronizers")

@@ -258,6 +258,11 @@ type Engine struct {
 	tlb    *tlb
 	ctr    Counters
 	asid   uint64
+
+	// switchObs, when set, is called after every address-space switch
+	// with the new ASID and a counter snapshot.  It is an observation
+	// hook (used by internal/ktrace) and must never charge the engine.
+	switchObs func(asid uint64, ctr Counters)
 }
 
 // NewEngine creates a processor with cold caches.
@@ -425,14 +430,28 @@ func (e *Engine) Copy(src, dst, n uint64) {
 // RPC path always switches: client -> server -> client).
 func (e *Engine) SwitchAddressSpace(asid uint64) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if asid == e.asid {
+		e.mu.Unlock()
 		return
 	}
 	e.asid = asid
 	e.ctr.Switches++
 	e.ctr.Cycles += e.cfg.SwitchCycles
 	e.tlb.flush()
+	obs, ctr := e.switchObs, e.ctr
+	e.mu.Unlock()
+	if obs != nil {
+		obs(asid, ctr)
+	}
+}
+
+// SetSwitchObserver installs (or, with nil, removes) the address-space
+// switch observation hook.  The observer runs outside the engine lock and
+// must not charge costs.
+func (e *Engine) SetSwitchObserver(fn func(asid uint64, ctr Counters)) {
+	e.mu.Lock()
+	e.switchObs = fn
+	e.mu.Unlock()
 }
 
 // ASID returns the currently loaded address-space identifier.

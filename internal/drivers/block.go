@@ -6,9 +6,19 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/iosys"
+	"repro/internal/ktrace"
 	"repro/internal/mach"
 	"repro/internal/objsys"
 )
+
+// traceIO opens a driver-I/O span when tracing is attached to the engine.
+// The zero Span returned when tracing is off makes End a no-op.
+func traceIO(k *mach.Kernel, name string) ktrace.Span {
+	if t := ktrace.For(k.CPU); t != nil {
+		return t.Begin(ktrace.EvDriverIO, "drivers", name, ktrace.SpanContext{})
+	}
+	return ktrace.Span{}
+}
 
 // BlockDriver is the common interface of the three driver architectures.
 // The caller thread is explicit because the user-level model performs an
@@ -54,6 +64,8 @@ func NewKernelBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, intr *
 
 // ReadSectors implements BlockDriver.
 func (d *KernelBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error) {
+	sp := traceIO(d.k, "bsd:read")
+	defer sp.End()
 	d.k.Trap(d.path)
 	buf := make([]byte, count*SectorSize)
 	if err := d.disk.ReadSectors(sector, buf); err != nil {
@@ -64,6 +76,8 @@ func (d *KernelBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, coun
 
 // WriteSectors implements BlockDriver.
 func (d *KernelBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data []byte) error {
+	sp := traceIO(d.k, "bsd:write")
+	defer sp.End()
 	d.k.Trap(d.path)
 	return d.disk.WriteSectors(sector, data)
 }
@@ -128,6 +142,8 @@ func NewUserBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, hrm *ios
 }
 
 func (d *UserBlockDriver) handle(req *mach.Message) *mach.Message {
+	sp := traceIO(d.k, "udrv:handle")
+	defer sp.End()
 	d.k.CPU.Exec(d.path)
 	switch req.ID {
 	case msgRead:
@@ -165,6 +181,8 @@ func (d *UserBlockDriver) portFor(caller *mach.Thread) (mach.PortName, error) {
 
 // ReadSectors implements BlockDriver via RPC to the driver task.
 func (d *UserBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error) {
+	sp := traceIO(d.k, "udrv:read")
+	defer sp.End()
 	n, err := d.portFor(caller)
 	if err != nil {
 		return nil, err
@@ -184,6 +202,8 @@ func (d *UserBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count 
 
 // WriteSectors implements BlockDriver via RPC to the driver task.
 func (d *UserBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data []byte) error {
+	sp := traceIO(d.k, "udrv:write")
+	defer sp.End()
 	n, err := d.portFor(caller)
 	if err != nil {
 		return err
@@ -262,6 +282,8 @@ func NewOODDMBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, intr *i
 
 // ReadSectors implements BlockDriver via the object chain.
 func (d *OODDMBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count int) ([]byte, error) {
+	sp := traceIO(d.k, "ooddm:read")
+	defer sp.End()
 	d.k.Trap(cpu.Region{})
 	if err := d.h.InvokeChain(d.obj, d.chain); err != nil {
 		return nil, err
@@ -275,6 +297,8 @@ func (d *OODDMBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count
 
 // WriteSectors implements BlockDriver via the object chain.
 func (d *OODDMBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data []byte) error {
+	sp := traceIO(d.k, "ooddm:write")
+	defer sp.End()
 	d.k.Trap(cpu.Region{})
 	if err := d.h.InvokeChain(d.obj, d.chain); err != nil {
 		return err

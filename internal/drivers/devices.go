@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/iosys"
+	"repro/internal/ktrace"
 )
 
 // SectorSize is the disk sector granularity.
@@ -80,6 +81,14 @@ func (d *Disk) ReadSectors(sector uint64, buf []byte) error {
 	if len(buf)%SectorSize != 0 {
 		return ErrBadSize
 	}
+	// Physical device time (seek, DMA) lands in its own "disk" bucket so
+	// attribution can separate it from driver-crossing machinery — the
+	// native system pays this part too.
+	var sp ktrace.Span
+	if t := ktrace.For(d.eng); t != nil {
+		sp = t.Begin(ktrace.EvDriverIO, "disk", "disk:read", ktrace.SpanContext{})
+	}
+	defer sp.End()
 	n := uint64(len(buf) / SectorSize)
 	d.mu.Lock()
 	if sector+n > uint64(len(d.sectors)) {
@@ -114,6 +123,11 @@ func (d *Disk) WriteSectors(sector uint64, data []byte) error {
 	if len(data)%SectorSize != 0 {
 		return ErrBadSize
 	}
+	var sp ktrace.Span
+	if t := ktrace.For(d.eng); t != nil {
+		sp = t.Begin(ktrace.EvDriverIO, "disk", "disk:write", ktrace.SpanContext{})
+	}
+	defer sp.End()
 	n := uint64(len(data) / SectorSize)
 	d.mu.Lock()
 	if sector+n > uint64(len(d.sectors)) {

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/ktrace"
 )
 
 // Errors returned by the I/O system.
@@ -243,10 +244,19 @@ func (ic *InterruptController) Raise(vector int) error {
 	if !ok {
 		return nil
 	}
+	var sp ktrace.Span
+	if t := ktrace.For(ic.eng); t != nil {
+		name := "intr:kernel"
+		if e.userLevel {
+			name = "intr:reflect"
+		}
+		sp = t.Begin(ktrace.EvInterrupt, "iosys", name, ktrace.SpanContext{})
+	}
 	if e.userLevel {
 		ic.eng.Exec(ic.reflectOp)
 	}
 	e.h(vector)
+	sp.End()
 	return nil
 }
 

@@ -1,5 +1,11 @@
 package mach
 
+import (
+	"fmt"
+
+	"repro/internal/ktrace"
+)
+
 // This file implements the classic Mach 3.0 mach_msg path that the rework
 // replaced: asynchronous queued delivery, reply ports, option decoding,
 // a double copy for inline data (sender -> kernel buffer -> receiver) and
@@ -31,6 +37,12 @@ const PageSize = 4096
 // faults when the receiver touches it.
 func (th *Thread) MachMsgSend(dest PortName, msg *Message, opts MsgOption) error {
 	k := th.task.kernel
+	var sp ktrace.Span
+	if t := ktrace.For(k.CPU); t != nil {
+		sp = t.Begin(ktrace.EvIPCSend, "mach.ipc", fmt.Sprintf("send:%#04x", uint32(msg.ID)), msg.trace)
+		msg.trace = sp.Context()
+	}
+	defer sp.End()
 	k.CPU.Exec(k.paths.msgStubC)
 	k.trap()
 	k.CPU.Exec(k.paths.portLookup)
@@ -107,6 +119,11 @@ func (th *Thread) MachMsgSend(dest PortName, msg *Message, opts MsgOption) error
 // the copy-on-write faults the receiver takes when touching the pages.
 func (th *Thread) MachMsgReceive(recvName PortName, opts MsgOption) (*Message, error) {
 	k := th.task.kernel
+	var sp ktrace.Span
+	if t := ktrace.For(k.CPU); t != nil {
+		sp = t.Begin(ktrace.EvIPCRecv, "mach.ipc", "recv:"+th.task.name, ktrace.SpanContext{})
+	}
+	defer sp.End()
 	k.CPU.Exec(k.paths.msgStubS)
 	k.trap()
 	k.CPU.Exec(k.paths.portLookup)

@@ -1,5 +1,7 @@
 package mach
 
+import "repro/internal/ktrace"
+
 // MsgID identifies the operation requested by a message, as in MIG-
 // generated interfaces.
 type MsgID uint32
@@ -70,6 +72,10 @@ type Message struct {
 
 	// replyPort is the in-transit reply right (classic path).
 	replyPort *Port
+
+	// trace carries the sender's span context so the receiver's work is
+	// parented to the operation that caused it (ktrace correlation).
+	trace ktrace.SpanContext
 }
 
 // Size returns the total byte count the message transfers.

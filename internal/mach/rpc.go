@@ -1,6 +1,11 @@
 package mach
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ktrace"
+)
 
 // This file implements the reworked RPC path — the paper's central IPC
 // change.  Relative to classic mach_msg the rework:
@@ -40,6 +45,12 @@ func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
 	if len(req.Body) > InlineMax {
 		return nil, ErrMsgTooLarge
 	}
+	var sp ktrace.Span
+	if t := ktrace.For(k.CPU); t != nil {
+		sp = t.Begin(ktrace.EvRPC, "mach.rpc", fmt.Sprintf("rpc:%#04x", uint32(req.ID)), req.trace)
+		req.trace = sp.Context()
+	}
+	defer sp.End()
 
 	// Simplified client stub and kernel entry.
 	k.CPU.Exec(k.paths.rpcStubC)
@@ -194,12 +205,23 @@ type Handler func(*Message) *Message
 // or port dies.  This is the "optimized and simplified ... server loop" of
 // the rework.
 func (th *Thread) Serve(recvName PortName, h Handler) error {
+	k := th.task.kernel
 	for {
 		req, resp, err := th.RPCReceive(recvName)
 		if err != nil {
 			return err
 		}
-		if err := resp.Reply(h(req)); err != nil {
+		var reply *Message
+		if t := ktrace.For(k.CPU); t != nil {
+			// The server-side span is parented to the client's RPC span
+			// carried in the message, so the causal tree crosses tasks.
+			sp := t.Begin(ktrace.EvRPCServe, "mach.rpc", "serve:"+th.task.name, req.trace)
+			reply = h(req)
+			sp.End()
+		} else {
+			reply = h(req)
+		}
+		if err := resp.Reply(reply); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,8 @@ package mach
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/ktrace"
 )
 
 // Task is a Mach task: an address space (identified here by its ASID and
@@ -36,6 +38,9 @@ func (k *Kernel) NewTask(name string) *Task {
 	k.trap()
 	k.CPU.Exec(k.paths.taskCreate)
 	defer k.rti()
+	if t := ktrace.For(k.CPU); t != nil {
+		t.Emit(ktrace.EvTask, "mach.task", "task_create:"+name, ktrace.SpanContext{}, 0)
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	return k.newTaskLocked(name)
@@ -151,6 +156,9 @@ func (t *Task) Spawn(name string, fn func(*Thread)) (*Thread, error) {
 	k.trap()
 	k.CPU.Exec(k.paths.threadCreate)
 	k.rti()
+	if tr := ktrace.For(k.CPU); tr != nil {
+		tr.Emit(ktrace.EvTask, "mach.task", "thread_create:"+name, ktrace.SpanContext{}, uint64(t.id))
+	}
 
 	t.mu.Lock()
 	if t.dead {

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/ktrace"
 	"repro/internal/mach"
 )
 
@@ -172,6 +173,11 @@ func (s *Service) Bind(path string, b Binding) error {
 
 // Lookup resolves a path to its binding.
 func (s *Service) Lookup(path string) (Binding, error) {
+	var sp ktrace.Span
+	if t := ktrace.For(s.eng); t != nil {
+		sp = t.Begin(ktrace.EvNameLookup, "names", "lookup:"+path, ktrace.SpanContext{})
+	}
+	defer sp.End()
 	parts, err := split(path)
 	if err != nil {
 		return Binding{}, err

@@ -1,0 +1,117 @@
+package netsvc
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Error-path coverage across both object architectures: the Taligent
+// fine-grained stack and the MK++-style coarse stack must reject bad
+// input identically — the object decomposition changes cost, never
+// semantics.
+
+var bothModes = []Mode{FineGrained, Coarse}
+
+func TestPayloadLimitBothModes(t *testing.T) {
+	for _, mode := range bothModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			sa, _, _ := pair(t, mode)
+			ep, err := sa.Bind(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ep.SendTo("hostB", 5, make([]byte, MaxPayload+1)); err != ErrPayloadLimit {
+				t.Fatalf("oversized payload err = %v, want ErrPayloadLimit", err)
+			}
+			// Exactly at the limit is legal.
+			if err := ep.SendTo("hostB", 5, make([]byte, MaxPayload)); err != nil {
+				t.Fatalf("max payload err = %v", err)
+			}
+			if sent, _, _ := sa.Stats(); sent != 1 {
+				t.Fatalf("sent = %d, rejected datagram must not count", sent)
+			}
+		})
+	}
+}
+
+func TestBadFrameBothModes(t *testing.T) {
+	for _, mode := range bothModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			sa, _, _ := pair(t, mode)
+			// Truncated: shorter than the header.
+			if err := sa.deliver(driversFrame([]byte{1, 2, 3})); err != ErrBadFrame {
+				t.Fatalf("truncated err = %v, want ErrBadFrame", err)
+			}
+			// Header length field disagreeing with the frame size.
+			lied := make([]byte, headerSize+16)
+			binary.LittleEndian.PutUint16(lied[4:6], 99)
+			if err := sa.deliver(driversFrame(lied)); err != ErrBadFrame {
+				t.Fatalf("length-lie err = %v, want ErrBadFrame", err)
+			}
+			if _, _, dropped := sa.Stats(); dropped != 2 {
+				t.Fatalf("dropped = %d, want 2", dropped)
+			}
+		})
+	}
+}
+
+func TestBadChecksumBothModes(t *testing.T) {
+	for _, mode := range bothModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			sa, _, _ := pair(t, mode)
+			if _, err := sa.Bind(20); err != nil {
+				t.Fatal(err)
+			}
+			frame := make([]byte, headerSize+4)
+			binary.LittleEndian.PutUint16(frame[0:2], 20)
+			binary.LittleEndian.PutUint16(frame[4:6], 4)
+			copy(frame[headerSize:], "data")
+			binary.LittleEndian.PutUint16(frame[6:8], sa.checksum(frame[headerSize:])^0xFFFF)
+			if err := sa.deliver(driversFrame(frame)); err != ErrBadChecksum {
+				t.Fatalf("err = %v, want ErrBadChecksum", err)
+			}
+			if _, delivered, dropped := sa.Stats(); delivered != 0 || dropped != 1 {
+				t.Fatalf("delivered=%d dropped=%d after checksum reject", delivered, dropped)
+			}
+		})
+	}
+}
+
+func TestPortErrorsBothModes(t *testing.T) {
+	for _, mode := range bothModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			sa, sb, _ := pair(t, mode)
+			if _, err := sa.Bind(7); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sa.Bind(7); err != ErrPortBound {
+				t.Fatalf("double bind err = %v, want ErrPortBound", err)
+			}
+			if err := sa.Unbind(9); err != ErrNotBound {
+				t.Fatalf("unbind unbound err = %v, want ErrNotBound", err)
+			}
+			if err := sa.Unbind(7); err != nil {
+				t.Fatalf("Unbind: %v", err)
+			}
+			// A rebind after unbind succeeds: the slot is truly released.
+			if _, err := sa.Bind(7); err != nil {
+				t.Fatalf("rebind err = %v", err)
+			}
+			// A well-formed datagram to an unbound port is ErrNotBound on
+			// the deliver path and counts as a drop.
+			epB, err := sb.Bind(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := epB.SendTo("hostA", 4242, []byte("nobody")); err != nil {
+				t.Fatalf("SendTo: %v", err)
+			}
+			if n := sa.Pump(); n != 0 {
+				t.Fatalf("pump delivered %d to an unbound port", n)
+			}
+			if _, _, dropped := sa.Stats(); dropped != 1 {
+				t.Fatalf("dropped = %d, want 1", dropped)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/drivers"
+	"repro/internal/ktrace"
 	"repro/internal/objsys"
 )
 
@@ -188,6 +189,11 @@ func (s *Stack) checksum(b []byte) uint16 {
 // SendTo transmits a datagram to (dstAddr, dstPort).
 func (ep *Endpoint) SendTo(dstAddr string, dstPort uint16, payload []byte) error {
 	s := ep.stack
+	var sp ktrace.Span
+	if t := ktrace.For(s.eng); t != nil {
+		sp = t.Begin(ktrace.EvNetOp, "netsvc", "sendto", ktrace.SpanContext{})
+	}
+	defer sp.End()
 	if len(payload) > MaxPayload {
 		return ErrPayloadLimit
 	}
@@ -223,6 +229,11 @@ func (s *Stack) Pump() int {
 }
 
 func (s *Stack) deliver(f drivers.Frame) error {
+	var sp ktrace.Span
+	if t := ktrace.For(s.eng); t != nil {
+		sp = t.Begin(ktrace.EvNetOp, "netsvc", "deliver", ktrace.SpanContext{})
+	}
+	defer sp.End()
 	if err := s.runProtocol(); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/ksync"
 	"repro/internal/ktime"
+	"repro/internal/ktrace"
 	"repro/internal/mach"
 	"repro/internal/vfs"
 	"repro/internal/vm"
@@ -312,6 +313,16 @@ func (p *Process) Thread() *mach.Thread { return p.th }
 // stubCall charges the per-API shared-library stub.
 func (p *Process) stubCall() { p.srv.k.CPU.Exec(p.srv.stub) }
 
+// traceAPI opens a span covering one OS/2 API call.  Top-level calls root
+// a new trace; everything the call causes downstream (file-server RPCs,
+// driver I/O, faults) hangs off it in the causal tree.
+func (p *Process) traceAPI(name string) ktrace.Span {
+	if t := ktrace.For(p.srv.k.CPU); t != nil {
+		return t.Begin(ktrace.EvAPI, "os2", name, ktrace.SpanContext{})
+	}
+	return ktrace.Span{}
+}
+
 // rpc sends a request to the personality server.
 func (p *Process) rpc(id mach.MsgID, body, ool []byte) (*mach.Message, Error) {
 	reply, err := p.th.RPC(p.srvPort, &mach.Message{ID: id, Body: body, OOL: ool})
@@ -347,6 +358,8 @@ func mapVFSErr(err error) Error {
 
 // DosOpen opens (optionally creating) a file and returns its handle.
 func (p *Process) DosOpen(path string, write, create bool) (uint32, Error) {
+	sp := p.traceAPI("DosOpen")
+	defer sp.End()
 	p.stubCall()
 	f, err := p.fs.Open(path, write, create)
 	if err != nil {
@@ -372,6 +385,8 @@ func (p *Process) file(h uint32) (*os2File, Error) {
 
 // DosRead reads sequentially from the handle's position.
 func (p *Process) DosRead(h uint32, buf []byte) (int, Error) {
+	sp := p.traceAPI("DosRead")
+	defer sp.End()
 	p.stubCall()
 	f, e := p.file(h)
 	if e != NoError {
@@ -387,6 +402,8 @@ func (p *Process) DosRead(h uint32, buf []byte) (int, Error) {
 
 // DosWrite writes sequentially at the handle's position.
 func (p *Process) DosWrite(h uint32, data []byte) (int, Error) {
+	sp := p.traceAPI("DosWrite")
+	defer sp.End()
 	p.stubCall()
 	f, e := p.file(h)
 	if e != NoError {
@@ -416,6 +433,8 @@ func (p *Process) DosSetFilePtr(h uint32, pos int64) Error {
 
 // DosClose closes the handle.
 func (p *Process) DosClose(h uint32) Error {
+	sp := p.traceAPI("DosClose")
+	defer sp.End()
 	p.stubCall()
 	p.mu.Lock()
 	f, ok := p.files[h]
@@ -432,18 +451,24 @@ func (p *Process) DosClose(h uint32) Error {
 
 // DosDelete removes a file.
 func (p *Process) DosDelete(path string) Error {
+	sp := p.traceAPI("DosDelete")
+	defer sp.End()
 	p.stubCall()
 	return mapVFSErr(p.fs.Remove(path))
 }
 
 // DosMkdir creates a directory.
 func (p *Process) DosMkdir(path string) Error {
+	sp := p.traceAPI("DosMkdir")
+	defer sp.End()
 	p.stubCall()
 	return mapVFSErr(p.fs.Mkdir(path))
 }
 
 // DosQueryPathInfo stats a path.
 func (p *Process) DosQueryPathInfo(path string) (vfs.Attr, Error) {
+	sp := p.traceAPI("DosQueryPathInfo")
+	defer sp.End()
 	p.stubCall()
 	a, err := p.fs.Stat(path)
 	return a, mapVFSErr(err)
@@ -453,6 +478,8 @@ func (p *Process) DosQueryPathInfo(path string) (vfs.Attr, Error) {
 
 // DosAllocMem allocates byte-granular committed or reserved memory.
 func (p *Process) DosAllocMem(bytes uint64, commit bool) (vm.VAddr, Error) {
+	sp := p.traceAPI("DosAllocMem")
+	defer sp.End()
 	p.stubCall()
 	return p.Mem.Alloc(bytes, commit)
 }
@@ -480,6 +507,8 @@ func (p *Process) DosQueryMem(base vm.VAddr) (uint64, Error) {
 // DosAllocSharedMem allocates named shared memory that every process sees
 // at the same address — the coerced-memory requirement.
 func (p *Process) DosAllocSharedMem(name string, bytes uint64) (vm.VAddr, Error) {
+	sp := p.traceAPI("DosAllocSharedMem")
+	defer sp.End()
 	p.stubCall()
 	var body [8]byte
 	binary.LittleEndian.PutUint64(body[:], bytes)
@@ -597,6 +626,8 @@ func (p *Process) DosSleep(d ktime.Duration) Error {
 // WinPostMsg posts a window message to another process's queue through
 // the personality server (the PM tasking path of Table 1).
 func (p *Process) WinPostMsg(dst PID, msg, arg uint32) Error {
+	sp := p.traceAPI("WinPostMsg")
+	defer sp.End()
 	p.stubCall()
 	var body [12]byte
 	binary.LittleEndian.PutUint32(body[0:4], uint32(dst))
@@ -622,6 +653,8 @@ func (p *Process) WinGetMsg(wait bool) (PMMsg, Error) {
 // performance "was comparable or better with the microkernel-based
 // system".
 func (p *Process) GfxLibCall(instr uint64) {
+	sp := p.traceAPI("GfxLibCall")
+	defer sp.End()
 	p.srv.k.CPU.Exec(p.srv.gfx)
 	p.srv.k.CPU.Instr(instr)
 }

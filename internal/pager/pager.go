@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/ktrace"
 	"repro/internal/vm"
 )
 
@@ -106,6 +107,11 @@ var _ vm.Pager = (*DefaultPager)(nil)
 // PageIn implements vm.Pager: returns stored contents, or zeros for pages
 // never evicted.
 func (p *DefaultPager) PageIn(obj *vm.Object, offset uint64) ([]byte, error) {
+	var sp ktrace.Span
+	if t := ktrace.For(p.eng); t != nil {
+		sp = t.Begin(ktrace.EvPageIn, "pager", "pagein", ktrace.SpanContext{})
+	}
+	defer sp.End()
 	p.eng.Exec(p.inOp)
 	p.mu.Lock()
 	slot, ok := p.slots[pageKey{obj, offset}]
@@ -125,6 +131,11 @@ func (p *DefaultPager) PageIn(obj *vm.Object, offset uint64) ([]byte, error) {
 
 // PageOut implements vm.Pager: stores an evicted page's contents.
 func (p *DefaultPager) PageOut(obj *vm.Object, offset uint64, data []byte) error {
+	var sp ktrace.Span
+	if t := ktrace.For(p.eng); t != nil {
+		sp = t.Begin(ktrace.EvPageOut, "pager", "pageout", ktrace.SpanContext{})
+	}
+	defer sp.End()
 	p.eng.Exec(p.outOp)
 	p.mu.Lock()
 	key := pageKey{obj, offset}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/ktrace"
 	"repro/internal/mach"
 )
 
@@ -150,7 +151,48 @@ func fromWire(msg string) error {
 
 // --- server side ------------------------------------------------------------
 
+// fsOpName labels file-server operations for tracing.
+func fsOpName(id mach.MsgID) string {
+	switch id {
+	case MsgOpen:
+		return "open"
+	case MsgClose:
+		return "close"
+	case MsgRead:
+		return "read"
+	case MsgWrite:
+		return "write"
+	case MsgTruncate:
+		return "truncate"
+	case MsgStat:
+		return "stat"
+	case MsgFStat:
+		return "fstat"
+	case MsgMkdir:
+		return "mkdir"
+	case MsgReadDir:
+		return "readdir"
+	case MsgRemove:
+		return "remove"
+	case MsgRename:
+		return "rename"
+	case MsgSetEA:
+		return "setea"
+	case MsgGetEA:
+		return "getea"
+	case MsgSync:
+		return "sync"
+	default:
+		return "unknown"
+	}
+}
+
 func (s *Server) handleControl(req *mach.Message) *mach.Message {
+	var sp ktrace.Span
+	if t := ktrace.For(s.k.CPU); t != nil {
+		sp = t.Begin(ktrace.EvFSOp, "vfs", fsOpName(req.ID), ktrace.SpanContext{})
+	}
+	defer sp.End()
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case MsgOpen:
@@ -255,6 +297,11 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 
 // handleFile serves one open file's port.
 func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
+	var sp ktrace.Span
+	if t := ktrace.For(s.k.CPU); t != nil {
+		sp = t.Begin(ktrace.EvFSOp, "vfs", fsOpName(req.ID), ktrace.SpanContext{})
+	}
+	defer sp.End()
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case MsgRead:

@@ -205,6 +205,28 @@ type System struct {
 
 	// ev is the eviction machinery (see evict.go).
 	ev evictState
+
+	// faultObs, when set, is called after each resolved fault.  It is an
+	// observation hook (ktrace wiring); it must not charge any cost model.
+	faultObs func(asid uint64, addr uint64, write bool)
+}
+
+// SetFaultObserver installs a callback invoked after every successfully
+// resolved page fault, with the faulting space's ASID, the page-truncated
+// address and whether the access was a write.  Pass nil to remove it.
+// Observers must be cheap and must never feed costs back into the
+// simulation — the hook exists for tracing, not accounting.
+func (s *System) SetFaultObserver(fn func(asid uint64, addr uint64, write bool)) {
+	s.mu.Lock()
+	s.faultObs = fn
+	s.mu.Unlock()
+}
+
+// faultObserver snapshots the current observer.
+func (s *System) faultObserver() func(asid uint64, addr uint64, write bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faultObs
 }
 
 type coercedRegion struct {
@@ -582,6 +604,9 @@ func (m *Map) Fault(addr VAddr, access Prot) (uint64, error) {
 	m.pmap.enter(a, frame, prot)
 	m.mu.Unlock()
 	m.sys.noteMapping(frame, m, a)
+	if obs := m.sys.faultObserver(); obs != nil {
+		obs(m.asid, uint64(a), access&ProtWrite != 0)
+	}
 	return frame, nil
 }
 

@@ -81,6 +81,42 @@ var Rows = []Row{
 	PMTaskingMedium, PMTaskingHigh,
 }
 
+// File names the workloads touch, hoisted so scripted workloads are
+// self-describing and tools (tracing, cleanup) can refer to them.
+const (
+	// WorksDir is the Works applications' document directory.
+	WorksDir = "/WORKS"
+	// WorksDocPattern is the per-document file name (fmt pattern, one
+	// integer document index).
+	WorksDocPattern = "/WORKS/DOC%d.WPS"
+	// TodoFile is the ToDo database file of File Intensive 2.
+	TodoFile = "/TODO.DAT"
+	// DeckFile is the card-deck bitmap Klondike loads.
+	DeckFile = "/DECK.BMP"
+)
+
+// Files lists the paths a row touches (patterns expanded), so callers can
+// pre-create, trace or clean up after a workload without knowing its code.
+func Files(r Row) []string {
+	switch r {
+	case FileIntensive1:
+		out := []string{WorksDir}
+		for doc := 0; doc < worksDocs; doc++ {
+			out = append(out, fmt.Sprintf(WorksDocPattern, doc))
+		}
+		return out
+	case FileIntensive2:
+		return []string{TodoFile}
+	case GraphicsLow, GraphicsMedium, GraphicsHigh:
+		return []string{DeckFile}
+	default:
+		return nil
+	}
+}
+
+// worksDocs is the number of documents File Intensive 1 cycles through.
+const worksDocs = 4
+
 // Content describes the application content column of the table.
 func Content(r Row) string {
 	switch r {
@@ -165,7 +201,7 @@ func fileIntensive1(env Env) error {
 	if err != nil {
 		return err
 	}
-	if e := p.DosMkdir("/WORKS"); e != os2.NoError && e != os2.ErrInvalidParameter {
+	if e := p.DosMkdir(WorksDir); e != os2.NoError && e != os2.ErrInvalidParameter {
 		return apiErr("mkdir", e)
 	}
 	record := make([]byte, 512)
@@ -173,8 +209,8 @@ func fileIntensive1(env Env) error {
 		record[i] = byte(i)
 	}
 	buf := make([]byte, 512)
-	for doc := 0; doc < 4; doc++ {
-		name := fmt.Sprintf("/WORKS/DOC%d.WPS", doc)
+	for doc := 0; doc < worksDocs; doc++ {
+		name := fmt.Sprintf(WorksDocPattern, doc)
 		h, e := p.DosOpen(name, true, true)
 		if e != os2.NoError {
 			return apiErr("open", e)
@@ -220,7 +256,7 @@ func fileIntensive2(env Env) error {
 	}
 	item := []byte("todo: ship the microkernel release............")
 	for i := 0; i < 60; i++ {
-		h, e := p.DosOpen("/TODO.DAT", true, true)
+		h, e := p.DosOpen(TodoFile, true, true)
 		if e != os2.NoError {
 			return apiErr("open", e)
 		}
@@ -248,7 +284,7 @@ func graphics(env Env, wsMB int, fills, passes int) error {
 	}
 	w, hgt := env.FB.Bounds()
 	// One file op pair: loading the deck.
-	h, e := p.DosOpen("/DECK.BMP", true, true)
+	h, e := p.DosOpen(DeckFile, true, true)
 	if e != os2.NoError {
 		return apiErr("open", e)
 	}
