@@ -214,8 +214,77 @@ func BenchmarkMVMTranslator(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E-POOL — multi-threaded server pools: modeled file-server throughput for
+// C concurrent clients against a pool of P server threads, from the
+// ktrace-calibrated bottleneck bound (see internal/bench/concurrency.go).
+// ---------------------------------------------------------------------------
+
+func BenchmarkConcurrentClients(b *testing.B) {
+	for _, pool := range []int{1, 2, 4} {
+		for _, clients := range []int{1, 2, 4, 8} {
+			pool, clients := pool, clients
+			b.Run(fmt.Sprintf("pool=%d/clients=%d", pool, clients), func(b *testing.B) {
+				var r bench.ConcurrencyResult
+				var err error
+				for i := 0; i < b.N; i++ {
+					r, err = bench.ConcurrentClients(clients, pool, 25)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(r.ModeledOpsPerSec, "modeled-ops/s")
+				b.ReportMetric(r.CyclesPerOp, "serial-cycles/op")
+				b.ReportMetric(r.ServerCycles, "server-cycles/op")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Correctness gates over the harness itself.
 // ---------------------------------------------------------------------------
+
+// TestServerPoolScaling gates the E-POOL acceptance criteria: a pool of 4
+// must model at least 2x the single-threaded throughput once 4 clients
+// contend, the single-client serial latency must not change with pool
+// size, and the real concurrent phase must actually spread requests
+// across the pool.
+func TestServerPoolScaling(t *testing.T) {
+	single, err := bench.ConcurrentClients(4, 1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := bench.ConcurrentClients(4, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pool=1: %v", single)
+	t.Logf("pool=4: %v (worker ops %v)", pooled, pooled.WorkerOps)
+
+	speedup := pooled.ModeledOpsPerSec / single.ModeledOpsPerSec
+	t.Logf("modeled speedup at 4 clients: %.2fx", speedup)
+	if speedup < 2 {
+		t.Errorf("pool=4 models %.2fx of pool=1 at 4 clients; want >= 2x", speedup)
+	}
+
+	// Single-client latency is not taxed by the pool: serial cycles per
+	// op must agree within 1% between the two server configurations.
+	drift := pooled.CyclesPerOp / single.CyclesPerOp
+	if drift < 0.99 || drift > 1.01 {
+		t.Errorf("serial latency drifted with pool size: %.0f vs %.0f cycles/op",
+			pooled.CyclesPerOp, single.CyclesPerOp)
+	}
+
+	// The concurrent phase ran every op and the pool shared the load.
+	if pooled.RealOps == 0 || len(pooled.WorkerOps) != 4 {
+		t.Fatalf("concurrent phase: ops=%d workers=%v", pooled.RealOps, pooled.WorkerOps)
+	}
+	for i, ops := range pooled.WorkerOps {
+		if ops == 0 {
+			t.Errorf("pool worker %d handled no requests: %v", i, pooled.WorkerOps)
+		}
+	}
+}
 
 func TestTable2AgainstPaper(t *testing.T) {
 	got, err := bench.Table2()

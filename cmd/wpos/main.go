@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names]
+//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N]
 package main
 
 import (
@@ -22,11 +22,13 @@ func main() {
 	driver := flag.String("driver", "user", "block driver model: user, kernel, ooddm")
 	mem := flag.Int("mem", 64, "installed memory in MB")
 	simple := flag.Bool("simple-names", false, "also start the Release 2 simplified name service")
+	pool := flag.Int("pool", 1, "server threads per RPC server (Release 2 multi-threaded servers when > 1)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.MemoryMB = *mem
 	cfg.SimpleNames = *simple
+	cfg.ServerPool = *pool
 	switch *driver {
 	case "kernel":
 		cfg.Driver = core.DriverKernel

@@ -27,7 +27,7 @@ func main() {
 			return drivers.NewOODDMBlockDriver(k, k.Layout(), d, ic)
 		}},
 		{"user-level task", func(k *mach.Kernel, d *drivers.Disk, hrm *iosys.HRM, ic *iosys.InterruptController) (drivers.BlockDriver, error) {
-			return drivers.NewUserBlockDriver(k, k.Layout(), d, hrm, ic)
+			return drivers.NewUserBlockDriver(k, k.Layout(), d, hrm, ic, 1)
 		}},
 	}
 

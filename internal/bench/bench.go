@@ -416,7 +416,7 @@ func DriverModels() ([]DriverResult, error) {
 		case core.DriverOODDM:
 			d, err = drivers.NewOODDMBlockDriver(k, layout, disk, intr)
 		default:
-			d, err = drivers.NewUserBlockDriver(k, layout, disk, hrm, intr)
+			d, err = drivers.NewUserBlockDriver(k, layout, disk, hrm, intr, 1)
 		}
 		if err != nil {
 			return DriverResult{}, err
@@ -463,7 +463,7 @@ type MVMResult struct {
 // MVMTranslator runs the same guest program under both engines.
 func MVMTranslator() (MVMResult, error) {
 	k := mach.New(cpu.Pentium133())
-	fsrv, err := vfs.NewServer(k)
+	fsrv, err := vfs.NewServer(k, 1)
 	if err != nil {
 		return MVMResult{}, err
 	}

@@ -59,6 +59,11 @@ type Config struct {
 	Personalities []string
 	// ObjectMode selects the networking framework style.
 	ObjectMode netsvc.Mode
+	// ServerPool is the number of server threads each multi-threaded
+	// server (file server, OS/2 personality, registry, user-level block
+	// driver) runs per receive right.  0 or 1 keeps the classic
+	// single-threaded loops of the seed reproduction.
+	ServerPool int
 }
 
 // DefaultConfig returns the configuration of the paper's PowerPC machine.
@@ -184,7 +189,7 @@ func Boot(cfg Config) (*System, error) {
 	case DriverOODDM:
 		s.Block, err = drivers.NewOODDMBlockDriver(s.Kernel, layout, s.Disk, s.Intr)
 	default:
-		s.Block, err = drivers.NewUserBlockDriver(s.Kernel, layout, s.Disk, s.HRM, s.Intr)
+		s.Block, err = drivers.NewUserBlockDriver(s.Kernel, layout, s.Disk, s.HRM, s.Intr, cfg.ServerPool)
 	}
 	if err != nil {
 		return nil, err
@@ -192,7 +197,7 @@ func Boot(cfg Config) (*System, error) {
 	log("block driver: %s", s.Block.Model())
 
 	// 5. Shared services: the file server over the driver, networking.
-	s.Files, err = vfs.NewServer(s.Kernel)
+	s.Files, err = vfs.NewServer(s.Kernel, cfg.ServerPool)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +244,7 @@ func Boot(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Registry, err = registry.NewServer(s.Kernel, s.Files, "/hpfs/OS2SYS.INI")
+	s.Registry, err = registry.NewServer(s.Kernel, s.Files, "/hpfs/OS2SYS.INI", cfg.ServerPool)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +278,7 @@ func Boot(cfg Config) (*System, error) {
 	for _, p := range cfg.Personalities {
 		switch p {
 		case "os2":
-			s.OS2, err = os2.NewServer(s.Kernel, s.VM, s.Files, s.Clock, s.Sync)
+			s.OS2, err = os2.NewServer(s.Kernel, s.VM, s.Files, s.Clock, s.Sync, cfg.ServerPool)
 			if err != nil {
 				return nil, err
 			}

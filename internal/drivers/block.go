@@ -3,6 +3,7 @@ package drivers
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/iosys"
@@ -96,17 +97,25 @@ const (
 // UserBlockDriver runs the driver in its own task per the user-level
 // architecture: requests arrive by RPC, the device is reached through
 // HRM-granted resources, and completions are reflected to user level.
+//
+// Handler concurrency contract: with pool > 1 handle runs on up to pool
+// threads at once.  The Disk is internally locked; the send-right cache
+// (names) is guarded by mu — it is also touched from client threads, so
+// it needs the lock even at pool == 1.
 type UserBlockDriver struct {
-	k     *mach.Kernel
-	task  *mach.Task
-	port  mach.PortName
-	disk  *Disk
-	path  cpu.Region
+	k    *mach.Kernel
+	task *mach.Task
+	port mach.PortName
+	disk *Disk
+	path cpu.Region
+
+	mu    sync.Mutex
 	names map[mach.TaskID]mach.PortName
 }
 
-// NewUserBlockDriver starts the driver task and its service loop.
-func NewUserBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, hrm *iosys.HRM, intr *iosys.InterruptController) (*UserBlockDriver, error) {
+// NewUserBlockDriver starts the driver task and its service loop of pool
+// threads (pool <= 1 keeps the classic single loop).
+func NewUserBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, hrm *iosys.HRM, intr *iosys.InterruptController, pool int) (*UserBlockDriver, error) {
 	d := &UserBlockDriver{
 		k:     k,
 		disk:  disk,
@@ -132,10 +141,7 @@ func NewUserBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, hrm *ios
 		return nil, err
 	}
 
-	_, err = d.task.Spawn("service", func(th *mach.Thread) {
-		th.Serve(port, d.handle)
-	})
-	if err != nil {
+	if _, err = d.task.ServePool("service", port, pool, d.handle); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -168,14 +174,19 @@ func (d *UserBlockDriver) handle(req *mach.Message) *mach.Message {
 // portFor gives the caller's task a send right to the driver.
 func (d *UserBlockDriver) portFor(caller *mach.Thread) (mach.PortName, error) {
 	t := caller.Task()
-	if n, ok := d.names[t.ID()]; ok {
+	d.mu.Lock()
+	n, ok := d.names[t.ID()]
+	d.mu.Unlock()
+	if ok {
 		return n, nil
 	}
 	n, err := t.InsertRight(d.task, d.port, mach.DispMakeSend)
 	if err != nil {
 		return mach.NullName, err
 	}
+	d.mu.Lock()
 	d.names[t.ID()] = n
+	d.mu.Unlock()
 	return n, nil
 }
 

@@ -167,7 +167,7 @@ func driverFixture(t testing.TB, model string) (*rig, BlockDriver, *mach.Thread)
 	case "kernel":
 		d, err = NewKernelBlockDriver(r.k, r.k.Layout(), r.disk, r.intr)
 	case "user":
-		d, err = NewUserBlockDriver(r.k, r.k.Layout(), r.disk, r.hrm, r.intr)
+		d, err = NewUserBlockDriver(r.k, r.k.Layout(), r.disk, r.hrm, r.intr, 1)
 	case "ooddm":
 		d, err = NewOODDMBlockDriver(r.k, r.k.Layout(), r.disk, r.intr)
 	}

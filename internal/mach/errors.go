@@ -14,6 +14,7 @@ var (
 	ErrInvalidThread   = errors.New("mach: invalid or terminated thread")
 	ErrMsgTooLarge     = errors.New("mach: inline message body exceeds limit")
 	ErrNoReplyExpected = errors.New("mach: RPC reply without a waiting client")
+	ErrReplyFailed     = errors.New("mach: server failed to deliver the RPC reply")
 	ErrAborted         = errors.New("mach: operation aborted by thread termination")
 	ErrNotReceiver     = errors.New("mach: caller does not hold the receive right")
 	ErrRightExists     = errors.New("mach: name already denotes a right")

@@ -1,0 +1,136 @@
+package mach
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ktrace"
+)
+
+// Server pools: N threads draining one receive right (or one port set)
+// concurrently.  This is the multi-threaded form of the rework's
+// "optimized and simplified ... server loops": the port's synchronous
+// rendezvous already admits any number of waiting receivers, so a pool is
+// simply N threads blocked in RPCReceive on the same right, and a client
+// hands its exchange to whichever one the scheduler picks.  Nothing is
+// queued; with all workers busy, callers block in the rendezvous exactly
+// as they would against a single-threaded server.
+//
+// Handler concurrency contract: a handler given to ServePool or
+// ServeSetPool with n > 1 runs on up to n threads at once and MUST
+// synchronize any access to server state shared across requests.  Message
+// bodies are private to each exchange and need no locking.  Each server
+// documents its own contract at its handler.
+
+// ServerPool is a set of server threads draining a shared receive right.
+type ServerPool struct {
+	task    *Task
+	threads []*Thread
+	ops     []atomic.Uint64
+}
+
+// receiveFn blocks one worker until a request arrives, returning the
+// member port name for set-based pools (the receive right's own name for
+// single-port pools).
+type receiveFn func(*Thread) (*Message, *Responder, PortName, error)
+
+// ServePool starts n threads serving the named receive right with h.
+// n < 1 is treated as 1.  Workers exit when the port is destroyed or the
+// task terminates.
+func (t *Task) ServePool(name string, recv PortName, n int, h Handler) (*ServerPool, error) {
+	return t.servePool(name, n, func(th *Thread) (*Message, *Responder, PortName, error) {
+		req, resp, err := th.RPCReceive(recv)
+		return req, resp, recv, err
+	}, func(_ PortName, m *Message) *Message { return h(m) })
+}
+
+// ServeSetPool starts n threads serving a port set with h; h also receives
+// the member port's name, as in ServeSet.  This is the paper-faithful shape
+// of the file server's port-per-open-file design: many object ports, a
+// fixed pool of threads, no thread per port.
+func (t *Task) ServeSetPool(name string, ps *PortSet, n int, h func(port PortName, req *Message) *Message) (*ServerPool, error) {
+	return t.servePool(name, n, func(th *Thread) (*Message, *Responder, PortName, error) {
+		return th.RPCReceiveSet(ps)
+	}, h)
+}
+
+func (t *Task) servePool(name string, n int, recv receiveFn, h func(PortName, *Message) *Message) (*ServerPool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &ServerPool{task: t, ops: make([]atomic.Uint64, n), threads: make([]*Thread, 0, n)}
+	for i := 0; i < n; i++ {
+		idx := i
+		th, err := t.Spawn(fmt.Sprintf("%s/%d", name, i), func(th *Thread) {
+			p.worker(th, idx, recv, h)
+		})
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		p.threads = append(p.threads, th)
+	}
+	return p, nil
+}
+
+// worker is one pool thread's loop.  Its ktrace span is per-thread (named
+// serve:<task>/<worker>) and covers the handler AND the reply delivery, so
+// a trace attributes the full server-side segment of each RPC to the
+// worker that ran it.  A failed reply delivery (oversized or bad-rights
+// reply) poisons neither the worker nor the port: the client was already
+// unblocked with ErrReplyFailed, so the worker just takes the next
+// request.  Only a receive failure (dead port, terminated thread) ends the
+// worker.
+func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName, *Message) *Message) {
+	k := th.task.kernel
+	for {
+		req, resp, pn, err := recv(th)
+		if err != nil {
+			return
+		}
+		if tr := ktrace.For(k.CPU); tr != nil {
+			sp := tr.Begin(ktrace.EvRPCServe, "mach.rpc", "serve:"+th.task.name+"/"+th.name, req.trace)
+			_ = resp.Reply(h(pn, req))
+			sp.End()
+		} else {
+			_ = resp.Reply(h(pn, req))
+		}
+		p.ops[idx].Add(1)
+	}
+}
+
+// Size reports the number of worker threads.
+func (p *ServerPool) Size() int { return len(p.threads) }
+
+// Ops reports the total requests completed by the pool.
+func (p *ServerPool) Ops() uint64 {
+	var sum uint64
+	for i := range p.ops {
+		sum += p.ops[i].Load()
+	}
+	return sum
+}
+
+// WorkerOps reports per-worker completion counts, for checking that load
+// actually spreads across the pool.
+func (p *ServerPool) WorkerOps() []uint64 {
+	out := make([]uint64, len(p.ops))
+	for i := range p.ops {
+		out[i] = p.ops[i].Load()
+	}
+	return out
+}
+
+// Stop terminates all workers (thread_terminate on each).
+func (p *ServerPool) Stop() {
+	for _, th := range p.threads {
+		th.Terminate()
+	}
+}
+
+// Wait blocks until every worker has exited.
+func (p *ServerPool) Wait() {
+	for _, th := range p.threads {
+		<-th.Done()
+	}
+}

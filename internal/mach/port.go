@@ -2,6 +2,7 @@ package mach
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // PortName is a task-local name for a port right.  As in Mach, names are
@@ -69,12 +70,52 @@ type Port struct {
 	closedCh chan struct{}
 }
 
+// rpcOutcome is what the client's reply wait resolves to: a delivered
+// reply message or a distinguishable failure (dead port, failed reply
+// delivery).
+type rpcOutcome struct {
+	m   *Message
+	err error
+}
+
+// Exchange states.  Exactly one party moves the exchange out of exPending:
+// the replier (server Reply, port teardown) via commit/fail, or the caller
+// via abandon on timeout or thread abort.  The CAS settles the race; only
+// the winner of the pending state may touch the outcome channel, so the
+// buffered send below can never block or double-fire.
+const (
+	exPending int32 = iota
+	exReplied
+	exAbandoned
+)
+
 // rpcExchange carries one in-flight synchronous RPC.
 type rpcExchange struct {
 	request *Message
-	reply   chan *Message
+	reply   chan rpcOutcome // buffered(1); sent at most once, by the CAS winner
 	abort   chan struct{}
 	caller  *Thread
+	state   atomic.Int32
+}
+
+// commit claims the right to deliver the outcome.  It returns false when
+// the caller already abandoned the exchange (timeout/abort), in which case
+// the reply must be discarded.
+func (ex *rpcExchange) commit() bool {
+	return ex.state.CompareAndSwap(exPending, exReplied)
+}
+
+// fail resolves the exchange with an error outcome if it is still pending.
+func (ex *rpcExchange) fail(err error) {
+	if ex.commit() {
+		ex.reply <- rpcOutcome{err: err}
+	}
+}
+
+// abandon marks the caller as gone.  It returns false when a reply already
+// committed — the buffered outcome is then in flight and must be taken.
+func (ex *rpcExchange) abandon() bool {
+	return ex.state.CompareAndSwap(exPending, exAbandoned)
 }
 
 // DefaultQueueLimit is the default depth of a port's message queue in the
@@ -123,7 +164,7 @@ func (p *Port) destroy() {
 	for {
 		select {
 		case ex := <-p.rpc:
-			close(ex.reply)
+			ex.fail(ErrDeadPort)
 		default:
 			return
 		}

@@ -101,7 +101,7 @@ func (ps *PortSet) forward(port *Port, name PortName) {
 			if !still || setDead {
 				// The port left the set with an exchange in hand;
 				// fail the caller rather than losing it.
-				close(ex.reply)
+				ex.fail(ErrDeadPort)
 				return
 			}
 			select {

@@ -41,6 +41,23 @@ type Responder struct {
 // the request over with a single physical copy, and blocks until the reply
 // arrives.  There is no reply port and no queuing.
 func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
+	return th.rpcCall(dest, req, nil)
+}
+
+// RPCWithTimeout is RPC with a deadline; the paper's RPC kept a timeout
+// option for device and network servers.  The deadline is wired into the
+// rendezvous and reply waits directly: expiry during rendezvous means the
+// exchange was never handed over, and expiry while the server holds the
+// exchange abandons it — a later Reply finds the abandoned state and
+// discards the reply instead of resurrecting the call.
+func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (*Message, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return th.rpcCall(dest, req, timer.C)
+}
+
+// rpcCall is the shared client path.  A nil deadline channel never fires.
+func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time) (*Message, error) {
 	k := th.task.kernel
 	if len(req.Body) > InlineMax {
 		return nil, ErrMsgTooLarge
@@ -84,29 +101,41 @@ func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
 
 	ex := &rpcExchange{
 		request: cloneForDelivery(req),
-		reply:   make(chan *Message, 1),
+		reply:   make(chan rpcOutcome, 1),
 		abort:   th.abort,
 		caller:  th,
 	}
 
 	select {
 	case port.rpc <- ex:
+	case <-port.rpcClosed():
+		return nil, ErrDeadPort
 	case <-th.abort:
 		return nil, ErrAborted
+	case <-deadline:
+		// The exchange was never handed over; nothing to abandon.
+		return nil, ErrTimeout
 	}
 	if entry.typ == RightSendOnce {
 		th.task.ports.consumeSendOnce(dest)
 	}
 
-	var reply *Message
-	var ok bool
+	var out rpcOutcome
 	select {
-	case reply, ok = <-ex.reply:
-		if !ok {
-			return nil, ErrDeadPort
-		}
+	case out = <-ex.reply:
 	case <-th.abort:
+		ex.abandon()
 		return nil, ErrAborted
+	case <-deadline:
+		if ex.abandon() {
+			return nil, ErrTimeout
+		}
+		// The reply committed before the deadline took effect; the
+		// buffered outcome is already in flight, so take it.
+		out = <-ex.reply
+	}
+	if out.err != nil {
+		return nil, out.err
 	}
 
 	// Client resumes: switch back to its space and return to user mode.
@@ -114,7 +143,7 @@ func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
 	k.CPU.Exec(k.paths.schedule)
 	k.rti()
 	k.CPU.Instr(20) // stub epilogue
-	return reply, nil
+	return out.m, nil
 }
 
 // RPCReceive blocks the calling server thread until an RPC arrives on the
@@ -134,6 +163,8 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 	var ex *rpcExchange
 	select {
 	case ex = <-port.rpc:
+	case <-port.rpcClosed():
+		return nil, nil, ErrDeadPort
 	case <-th.abort:
 		return nil, nil, ErrAborted
 	}
@@ -156,7 +187,10 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 }
 
 // Reply completes the RPC, copying the reply body back with a single
-// physical copy and resuming the blocked client.
+// physical copy and resuming the blocked client.  A reply the server
+// cannot deliver (oversized body, bad rights) still resolves the exchange:
+// the blocked client unblocks with ErrReplyFailed and the server gets the
+// underlying error, so neither side hangs on the other's mistake.
 func (r *Responder) Reply(reply *Message) error {
 	if r.done {
 		return ErrNoReplyExpected
@@ -167,6 +201,7 @@ func (r *Responder) Reply(reply *Message) error {
 		reply = &Message{}
 	}
 	if len(reply.Body) > InlineMax {
+		r.ex.fail(ErrReplyFailed)
 		return ErrMsgTooLarge
 	}
 	k.trap()
@@ -178,12 +213,21 @@ func (r *Responder) Reply(reply *Message) error {
 	}
 	if len(reply.Rights) > 0 {
 		if err := r.srv.task.loadRights(reply); err != nil {
+			r.ex.fail(ErrReplyFailed)
 			return err
 		}
-		r.ex.caller.task.acceptRights(reply)
 	}
 	k.CPU.Exec(k.paths.schedule)
-	r.ex.reply <- cloneForDelivery(reply)
+	delivered := cloneForDelivery(reply)
+	if r.ex.commit() {
+		// Install carried rights only for a caller that is still
+		// waiting; an abandoned caller's name space must not change
+		// under it, and the loaded rights die with the reply.
+		if len(delivered.Rights) > 0 {
+			r.ex.caller.task.acceptRights(delivered)
+		}
+		r.ex.reply <- rpcOutcome{m: delivered}
+	}
 	return nil
 }
 
@@ -211,18 +255,22 @@ func (th *Thread) Serve(recvName PortName, h Handler) error {
 		if err != nil {
 			return err
 		}
-		var reply *Message
+		var rerr error
 		if t := ktrace.For(k.CPU); t != nil {
 			// The server-side span is parented to the client's RPC span
 			// carried in the message, so the causal tree crosses tasks.
+			// It covers the handler AND reply delivery: together they are
+			// the server-occupancy segment of one RPC, which the
+			// concurrency model in internal/bench calibrates from these
+			// spans.  ServerPool workers emit the same shape.
 			sp := t.Begin(ktrace.EvRPCServe, "mach.rpc", "serve:"+th.task.name, req.trace)
-			reply = h(req)
+			rerr = resp.Reply(h(req))
 			sp.End()
 		} else {
-			reply = h(req)
+			rerr = resp.Reply(h(req))
 		}
-		if err := resp.Reply(reply); err != nil {
-			return err
+		if rerr != nil {
+			return rerr
 		}
 	}
 }
@@ -295,25 +343,5 @@ func (t *Task) acceptRights(m *Message) {
 			continue
 		}
 		pr.Name = n
-	}
-}
-
-// RPCWithTimeout is RPC with a deadline; the paper's RPC kept a timeout
-// option for device and network servers.
-func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (*Message, error) {
-	type result struct {
-		m   *Message
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		m, err := th.RPC(dest, req)
-		ch <- result{m, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.m, r.err
-	case <-time.After(d):
-		return nil, ErrTimeout
 	}
 }

@@ -20,7 +20,7 @@ type rig struct {
 func newRig(t testing.TB) *rig {
 	t.Helper()
 	k := mach.New(cpu.Pentium133())
-	fsrv, err := vfs.NewServer(k)
+	fsrv, err := vfs.NewServer(k, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

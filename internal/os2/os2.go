@@ -93,8 +93,16 @@ type Server struct {
 	shared map[string]*vm.CoercedRegion
 }
 
-// NewServer starts the OS/2 personality server.
-func NewServer(k *mach.Kernel, vmsys *vm.System, files *vfs.Server, clock *ktime.Clock, syncf *ksync.Factory) (*Server, error) {
+// NewServer starts the OS/2 personality server with pool API threads
+// (pool <= 1 keeps the classic single server loop).
+//
+// Handler concurrency contract: with pool > 1 handle runs on up to pool
+// threads at once.  The process table, shared-memory map and PID counter
+// are guarded by s.mu; per-process state (open files, mutexes, message
+// queue) is guarded by each Process's own mu/cond; the file server client
+// calls go over per-process threads.  handle must take s.mu for any access
+// to procs/shared/nextP.
+func NewServer(k *mach.Kernel, vmsys *vm.System, files *vfs.Server, clock *ktime.Clock, syncf *ksync.Factory, pool int) (*Server, error) {
 	s := &Server{
 		k: k, vmsys: vmsys, files: files, clock: clock, syncf: syncf,
 		task:   k.NewTask("os2server"),
@@ -111,9 +119,7 @@ func NewServer(k *mach.Kernel, vmsys *vm.System, files *vfs.Server, clock *ktime
 		return nil, err
 	}
 	s.port = port
-	if _, err := s.task.Spawn("api", func(th *mach.Thread) {
-		th.Serve(port, s.handle)
-	}); err != nil {
+	if _, err := s.task.ServePool("api", port, pool, s.handle); err != nil {
 		return nil, err
 	}
 	return s, nil

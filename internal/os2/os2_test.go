@@ -24,7 +24,7 @@ func newRig(t testing.TB) *rig {
 	t.Helper()
 	k := mach.New(cpu.Pentium133())
 	vms := vm.NewSystem(64 << 20)
-	fsrv, err := vfs.NewServer(k)
+	fsrv, err := vfs.NewServer(k, 1)
 	if err != nil {
 		t.Fatalf("file server: %v", err)
 	}
@@ -33,7 +33,7 @@ func newRig(t testing.TB) *rig {
 	}
 	clock := ktime.NewClock(k.CPU, k.Layout(), 133)
 	syncf := ksync.NewFactory(k.CPU, k.Layout())
-	srv, err := NewServer(k, vms, fsrv, clock, syncf)
+	srv, err := NewServer(k, vms, fsrv, clock, syncf, 1)
 	if err != nil {
 		t.Fatalf("os2 server: %v", err)
 	}

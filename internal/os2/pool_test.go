@@ -1,0 +1,110 @@
+package os2
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ksync"
+	"repro/internal/ktime"
+	"repro/internal/mach"
+	"repro/internal/vfs"
+	"repro/internal/vm"
+)
+
+// TestPooledAPIServerConcurrentProcesses runs the OS/2 personality with a
+// pool of 4 API threads and many concurrent processes exercising the
+// RPC-served APIs (shared memory, window-message posting, exit) plus the
+// file APIs.  Run under -race via scripts/check.sh: it hammers the
+// process table, the shared-memory map and per-process queues from
+// concurrent handler threads.
+func TestPooledAPIServerConcurrentProcesses(t *testing.T) {
+	k := mach.New(cpu.Pentium133())
+	vms := vm.NewSystem(64 << 20)
+	fsrv, err := vfs.NewServer(k, 4)
+	if err != nil {
+		t.Fatalf("file server: %v", err)
+	}
+	if err := fsrv.Mount("/", vfs.NewMemFS()); err != nil {
+		t.Fatal(err)
+	}
+	clock := ktime.NewClock(k.CPU, k.Layout(), 133)
+	syncf := ksync.NewFactory(k.CPU, k.Layout())
+	srv, err := NewServer(k, vms, fsrv, clock, syncf, 4)
+	if err != nil {
+		t.Fatalf("os2 server: %v", err)
+	}
+
+	// One shared segment allocated up front; every process maps it.
+	root, err := srv.CreateProcess("root.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, e := root.DosAllocSharedMem("\\SHAREMEM\\POOL", 4096); e != NoError {
+		t.Fatalf("DosAllocSharedMem: %v", e)
+	}
+
+	const procs = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := srv.CreateProcess(fmt.Sprintf("worker%d.exe", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, e := p.DosGetNamedSharedMem("\\SHAREMEM\\POOL"); e != NoError {
+				errs <- fmt.Errorf("proc %d: DosGetNamedSharedMem: %v", i, e)
+				return
+			}
+			// Each process also allocates its own named segment.
+			if _, e := p.DosAllocSharedMem(fmt.Sprintf("\\SHAREMEM\\P%d", i), 4096); e != NoError {
+				errs <- fmt.Errorf("proc %d: private shared alloc: %v", i, e)
+				return
+			}
+			// File traffic through the pooled file server.
+			h, e := p.DosOpen(fmt.Sprintf("/p%d.dat", i), true, true)
+			if e != NoError {
+				errs <- fmt.Errorf("proc %d: DosOpen: %v", i, e)
+				return
+			}
+			if _, e := p.DosWrite(h, []byte("pooled write\n")); e != NoError {
+				errs <- fmt.Errorf("proc %d: DosWrite: %v", i, e)
+				return
+			}
+			if e := p.DosClose(h); e != NoError {
+				errs <- fmt.Errorf("proc %d: DosClose: %v", i, e)
+				return
+			}
+			// Cross-process messaging into the root process's queue.
+			if e := p.WinPostMsg(root.PID(), 0x400, uint32(i)); e != NoError {
+				errs <- fmt.Errorf("proc %d: WinPostMsg: %v", i, e)
+				return
+			}
+			p.Exit()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// All posted messages must have landed in the root queue.
+	seen := map[uint32]bool{}
+	for i := 0; i < procs; i++ {
+		m, e := root.WinGetMsg(true)
+		if e != NoError {
+			t.Fatalf("WinGetMsg %d: %v", i, e)
+		}
+		if m.Msg != 0x400 || seen[m.Arg] {
+			t.Fatalf("bad or duplicate message: %+v", m)
+		}
+		seen[m.Arg] = true
+	}
+}

@@ -49,14 +49,24 @@ type Server struct {
 
 	mu   sync.Mutex
 	apps map[string]map[string]string
+
+	// ioMu serializes profile-file I/O: s.fs rides one bound thread, and
+	// two interleaved flushes would corrupt the profile on disk.
+	ioMu sync.Mutex
 	fs   *vfs.Client // persistence; may be nil
 	file string
 }
 
-// NewServer starts the registry.  If files is non-nil the contents
-// persist to profilePath through the file server and are reloaded at
-// start.
-func NewServer(k *mach.Kernel, files *vfs.Server, profilePath string) (*Server, error) {
+// NewServer starts the registry with pool service threads (pool <= 1
+// keeps the classic single server loop).  If files is non-nil the
+// contents persist to profilePath through the file server and are
+// reloaded at start.
+//
+// Handler concurrency contract: with pool > 1 handle runs on up to pool
+// threads at once.  The store (apps) is guarded by s.mu; profile
+// persistence (flush/load and the underlying vfs.Client) is serialized by
+// s.ioMu.
+func NewServer(k *mach.Kernel, files *vfs.Server, profilePath string, pool int) (*Server, error) {
 	s := &Server{
 		k:    k,
 		path: k.Layout().PlaceInstr("registry_op", 700),
@@ -82,9 +92,7 @@ func NewServer(k *mach.Kernel, files *vfs.Server, profilePath string) (*Server, 
 			return nil, err
 		}
 	}
-	if _, err := s.task.Spawn("service", func(th *mach.Thread) {
-		th.Serve(port, s.handle)
-	}); err != nil {
+	if _, err := s.task.ServePool("service", port, pool, s.handle); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -274,6 +282,8 @@ func (s *Server) flush() error {
 	if s.fs == nil {
 		return nil
 	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	s.mu.Lock()
 	var b strings.Builder
 	for _, app := range s.enumAppsLocked() {
@@ -312,6 +322,8 @@ func (s *Server) enumAppsLocked() []string {
 
 // load parses the profile file back.
 func (s *Server) load() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	f, err := s.fs.Open(s.file, false, false)
 	if err != nil {
 		return err

@@ -16,13 +16,13 @@ func newRig(t testing.TB, persist bool) (*mach.Kernel, *vfs.Server, *Server, *Cl
 	var fsrv *vfs.Server
 	var err error
 	if persist {
-		fsrv, err = vfs.NewServer(k)
+		fsrv, err = vfs.NewServer(k, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		fsrv.Mount("/", vfs.NewMemFS())
 	}
-	srv, err := NewServer(k, fsrv, "/OS2SYS.INI")
+	srv, err := NewServer(k, fsrv, "/OS2SYS.INI", 1)
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
@@ -117,7 +117,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 	}
 	// "Restart": a second registry server instance over the same file
 	// server re-loads the profile.
-	srv2, err := NewServer(k, fsrv, "/OS2SYS.INI")
+	srv2, err := NewServer(k, fsrv, "/OS2SYS.INI", 1)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -178,7 +178,7 @@ func TestPropertyRoundTripThroughProfile(t *testing.T) {
 		if err := c.Flush(); err != nil {
 			return false
 		}
-		srv2, err := NewServer(k, fsrv, "/OS2SYS.INI")
+		srv2, err := NewServer(k, fsrv, "/OS2SYS.INI", 1)
 		if err != nil {
 			return false
 		}

@@ -15,7 +15,7 @@ func newRig(t testing.TB) (*mach.Kernel, *Server, *App) {
 	t.Helper()
 	k := mach.New(cpu.Pentium133())
 	vms := vm.NewSystem(64 << 20)
-	fsrv, err := vfs.NewServer(k)
+	fsrv, err := vfs.NewServer(k, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,186 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mach"
+)
+
+// TestPooledServerConcurrentClients drives a pool-of-4 file server with
+// concurrent clients doing the full open/write/read/stat/close life cycle
+// on both private and shared paths.  Run under -race via scripts/check.sh:
+// it exercises the control pool, the open-file port set and its pool, and
+// the filePorts/portFDs bookkeeping from many threads at once.
+func TestPooledServerConcurrentClients(t *testing.T) {
+	k := mach.New(cpu.Pentium133())
+	s, err := NewServer(k, 4)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := s.Mount("/", NewMemFS()); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if s.FilePool() == nil {
+		t.Fatal("pool > 1 must serve open-file ports from a port-set pool")
+	}
+
+	const clients, rounds = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			app := k.NewTask(fmt.Sprintf("app%d", c))
+			defer app.Terminate()
+			th, err := app.NewBoundThread("main")
+			if err != nil {
+				errs <- err
+				return
+			}
+			cl, err := s.NewClient(th, ProfileOS2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			payload := bytes.Repeat([]byte{byte('a' + c)}, 1500)
+			for r := 0; r < rounds; r++ {
+				// Private file: full life cycle, contents must not bleed
+				// between clients.
+				f, err := cl.Open(fmt.Sprintf("/c%d-r%d.dat", c, r), true, true)
+				if err != nil {
+					errs <- fmt.Errorf("client %d open: %w", c, err)
+					return
+				}
+				if _, err := f.WriteAt(payload, 0); err != nil {
+					errs <- fmt.Errorf("client %d write: %w", c, err)
+					return
+				}
+				got := make([]byte, len(payload))
+				if n, err := f.ReadAt(got, 0); err != nil || n != len(payload) {
+					errs <- fmt.Errorf("client %d read: n=%d %v", c, n, err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("client %d: payload corrupted across pooled RPC", c)
+					return
+				}
+				if a, err := f.Stat(); err != nil || a.Size != int64(len(payload)) {
+					errs <- fmt.Errorf("client %d stat: %+v %v", c, a, err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					errs <- fmt.Errorf("client %d close: %w", c, err)
+					return
+				}
+				// Shared path: every client hammers the same directory
+				// tree through the control pool.
+				if _, err := cl.Stat("/"); err != nil {
+					errs <- fmt.Errorf("client %d shared stat: %w", c, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every open was closed, so the bookkeeping must be empty and the
+	// port set drained back to zero members.
+	s.mu.Lock()
+	nPorts, nFDs := len(s.filePorts), len(s.portFDs)
+	s.mu.Unlock()
+	if nPorts != 0 || nFDs != 0 {
+		t.Errorf("leaked open-file state: %d filePorts, %d portFDs", nPorts, nFDs)
+	}
+	if n := s.fileSet.Members(); n != 0 {
+		t.Errorf("port set still has %d members after all closes", n)
+	}
+	if ops := s.FilePool().Ops(); ops == 0 {
+		t.Error("file pool handled no requests")
+	}
+}
+
+// TestPooledServerSharedFile has all clients writing disjoint regions of
+// one shared open file through one shared port — the hardest case for the
+// set pool's fd dispatch.
+func TestPooledServerSharedFile(t *testing.T) {
+	k := mach.New(cpu.Pentium133())
+	s, err := NewServer(k, 4)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := s.Mount("/", NewMemFS()); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+
+	owner := k.NewTask("owner")
+	oth, _ := owner.NewBoundThread("main")
+	ocl, err := s.NewClient(oth, ProfileOS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ocl.Open("/shared.dat", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, chunk = 6, 512
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task := k.NewTask(fmt.Sprintf("writer%d", w))
+			defer task.Terminate()
+			th, _ := task.NewBoundThread("main")
+			cl, err := s.NewClient(th, ProfileOS2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Each writer opens the same path, getting its own port to
+			// the same underlying file.
+			wf, err := cl.Open("/shared.dat", true, false)
+			if err != nil {
+				errs <- fmt.Errorf("writer %d open: %w", w, err)
+				return
+			}
+			defer wf.Close()
+			data := bytes.Repeat([]byte{byte('A' + w)}, chunk)
+			if _, err := wf.WriteAt(data, int64(w*chunk)); err != nil {
+				errs <- fmt.Errorf("writer %d write: %w", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, writers*chunk)
+	if n, err := f.ReadAt(got, 0); err != nil || n != len(got) {
+		t.Fatalf("readback: n=%d %v", n, err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < chunk; i++ {
+			if got[w*chunk+i] != byte('A'+w) {
+				t.Fatalf("region %d corrupted at offset %d: %q", w, i, got[w*chunk+i])
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,8 +34,14 @@ const MaxReadChunk = 1 << 20
 
 // Server is the file server task: it serves the vnode layer over RPC with
 // a port per open file ("the design of the file server made heavy use of
-// ports to manage open files").  Each open file's port is serviced by a
-// dedicated server thread, standing in for Mach's port sets.
+// ports to manage open files").
+//
+// Handler concurrency contract: with pool > 1 the control handler and the
+// per-file handlers run on up to pool threads at once.  The filePorts and
+// portFDs maps are guarded by s.mu; the Dispatcher and every mounted
+// FileSystem are internally locked and safe for concurrent calls; message
+// bodies are per-request.  Handlers must not hold s.mu across Dispatcher
+// calls.
 type Server struct {
 	Disp *Dispatcher
 
@@ -43,35 +49,67 @@ type Server struct {
 	task *mach.Task
 	ctrl mach.PortName
 	path cpu.Region
+	pool int
+
+	ctrlPool *mach.ServerPool
+	filePool *mach.ServerPool // pool > 1 only
+	fileSet  *mach.PortSet    // pool > 1: all open-file ports, no thread per port
 
 	mu        sync.Mutex
 	filePorts map[uint32]mach.PortName // fd -> receive name in server task
+	portFDs   map[mach.PortName]uint32 // receive name -> fd (set dispatch)
 }
 
-// NewServer starts the file server task and its control loop.
-func NewServer(k *mach.Kernel) (*Server, error) {
+// NewServer starts the file server task with pool server threads on the
+// control port.  With pool <= 1 each open file's port is serviced by a
+// dedicated server thread; with pool > 1 open-file ports are members of
+// one port set drained by a second pool of the same size — Mach's port
+// sets as the paper's file server used them, many ports without a thread
+// per port.
+func NewServer(k *mach.Kernel, pool int) (*Server, error) {
+	if pool < 1 {
+		pool = 1
+	}
 	s := &Server{
 		Disp:      NewDispatcher(),
 		k:         k,
 		task:      k.NewTask("fileserver"),
 		path:      k.Layout().PlaceInstr("file_server_op", 1200),
+		pool:      pool,
 		filePorts: make(map[uint32]mach.PortName),
+		portFDs:   make(map[mach.PortName]uint32),
 	}
 	ctrl, err := s.task.AllocatePort()
 	if err != nil {
 		return nil, err
 	}
 	s.ctrl = ctrl
-	if _, err := s.task.Spawn("control", func(th *mach.Thread) {
-		th.Serve(ctrl, s.handleControl)
-	}); err != nil {
+	if s.ctrlPool, err = s.task.ServePool("control", ctrl, pool, s.handleControl); err != nil {
 		return nil, err
+	}
+	if pool > 1 {
+		if s.fileSet, err = s.task.AllocatePortSet(); err != nil {
+			return nil, err
+		}
+		if s.filePool, err = s.task.ServeSetPool("file", s.fileSet, pool, s.handleFilePort); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
 
 // Task returns the server task (for granting rights and shutdown).
 func (s *Server) Task() *mach.Task { return s.task }
+
+// PoolSize returns the number of server threads per serving pool.
+func (s *Server) PoolSize() int { return s.pool }
+
+// ControlPool exposes the control-port pool (benchmarks and tests).
+func (s *Server) ControlPool() *mach.ServerPool { return s.ctrlPool }
+
+// FilePool exposes the open-file pool; nil when pool <= 1 (dedicated
+// thread per open file).
+func (s *Server) FilePool() *mach.ServerPool { return s.filePool }
 
 // ControlPort returns the server-side control receive name.
 func (s *Server) ControlPort() mach.PortName { return s.ctrl }
@@ -215,12 +253,23 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 		}
 		s.mu.Lock()
 		s.filePorts[fd] = fport
+		s.portFDs[fport] = fd
 		s.mu.Unlock()
-		if _, err := s.task.Spawn("file", func(th *mach.Thread) {
-			th.Serve(fport, func(m *mach.Message) *mach.Message {
-				return s.handleFile(fd, m)
+		if s.fileSet != nil {
+			err = s.fileSet.AddMember(fport)
+		} else {
+			_, err = s.task.Spawn("file", func(th *mach.Thread) {
+				th.Serve(fport, func(m *mach.Message) *mach.Message {
+					return s.handleFile(fd, m)
+				})
 			})
-		}); err != nil {
+		}
+		if err != nil {
+			s.mu.Lock()
+			delete(s.filePorts, fd)
+			delete(s.portFDs, fport)
+			s.mu.Unlock()
+			s.task.DeallocatePort(fport)
 			s.Disp.Close(fd)
 			return errReply(err)
 		}
@@ -295,6 +344,18 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 	}
 }
 
+// handleFilePort dispatches a port-set delivery to the open file the
+// member port denotes (pooled mode).
+func (s *Server) handleFilePort(port mach.PortName, req *mach.Message) *mach.Message {
+	s.mu.Lock()
+	fd, ok := s.portFDs[port]
+	s.mu.Unlock()
+	if !ok {
+		return errReply(ErrBadHandle)
+	}
+	return s.handleFile(fd, req)
+}
+
 // handleFile serves one open file's port.
 func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 	var sp ktrace.Span
@@ -351,12 +412,25 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 			return errReply(err)
 		}
 		s.mu.Lock()
-		if fp, ok := s.filePorts[fd]; ok {
+		fp, ok := s.filePorts[fd]
+		if ok {
 			delete(s.filePorts, fd)
-			// Destroy the per-file port; its server thread exits.
-			go s.task.DeallocatePort(fp)
+			delete(s.portFDs, fp)
 		}
 		s.mu.Unlock()
+		if ok {
+			if s.fileSet != nil {
+				// Leave the set first so the forwarder stops, then
+				// destroy the port.
+				s.fileSet.RemoveMember(fp)
+			}
+			// Destroy the per-file port synchronously: its charges are
+			// part of the close, and an async teardown (the old shape)
+			// lands them nondeterministically relative to measurement
+			// windows.  In single-threaded mode the port's dedicated
+			// server thread exits on the dead port.
+			s.task.DeallocatePort(fp)
+		}
 		return okReply(nil, nil)
 	default:
 		return errReply(ErrUnsupported)

@@ -213,7 +213,7 @@ func TestDispatcherRename(t *testing.T) {
 func newServerRig(t *testing.T) (*mach.Kernel, *Server, *Client) {
 	t.Helper()
 	k := mach.New(cpu.Pentium133())
-	s, err := NewServer(k)
+	s, err := NewServer(k, 1)
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}

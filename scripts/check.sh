@@ -1,11 +1,13 @@
 #!/bin/sh
 # Tier-2 gate: static analysis plus race-detector runs of the packages with
 # real concurrency (the tracer's ring is hammered by concurrent emitters;
-# mach runs server loops and bound threads).  Tier-1 (go build && go test
-# ./...) stays the merge gate; this catches data races tier-1 cannot.
+# mach runs server pools and bound threads; vfs and os2 serve pooled
+# multi-threaded RPC with shared bookkeeping hammered by their pool tests).
+# Tier-1 (go build && go test ./...) stays the merge gate; this catches
+# data races tier-1 cannot.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/ktrace/... ./internal/mach/...
+go test -race ./internal/ktrace/... ./internal/mach/... ./internal/vfs/... ./internal/os2/...
