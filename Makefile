@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check tables
+.PHONY: all build test check tables stats
 
 all: build test
 
@@ -16,3 +16,10 @@ check:
 
 tables:
 	$(GO) run ./cmd/benchtables
+
+# Smoke test the observability plane: boot wpos, run a workload, query the
+# monitor server over the system's own RPC, and require nonzero RPC traffic
+# in the Prometheus exposition.
+stats:
+	$(GO) run ./cmd/kstat -format prom -workload file1 | grep -E '^mach_rpc_calls_total [1-9]'
+	@echo "stats smoke ok: monitor served a snapshot with live RPC counters"

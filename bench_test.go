@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/kstat"
 	"repro/internal/cpu"
 	"repro/internal/workload"
 )
@@ -407,5 +408,75 @@ func TestFSPersonalityMatrix(t *testing.T) {
 		if r.LongNameOK != w[0] || r.EAOK != w[1] || r.CaseSensitive != w[2] {
 			t.Errorf("%s capabilities wrong: %+v", r.FS, r)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E-CTR — Table 2 derived from the kstat fabric, plus the observation-only
+// guarantee: attaching kstat must not move a single modeled cycle.
+// ---------------------------------------------------------------------------
+
+func TestECTRCounterDerivedTable2(t *testing.T) {
+	res, err := bench.CounterTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapOps != 400 || res.RPCOps != 400 {
+		t.Fatalf("kstat op counts trap=%d rpc=%d, want 400/400", res.TrapOps, res.RPCOps)
+	}
+	// Observation-only: the direct measurement with the fabric attached is
+	// byte-identical to Table 2 measured with no fabric at all.
+	plain, err := bench.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Direct != plain {
+		t.Fatalf("kstat perturbed the model:\nwith fabric    %+v\nwithout fabric %+v", res.Direct, plain)
+	}
+	// The counter-derived table must agree with the direct one exactly:
+	// both divide the same engine-charge sums by the same op count.
+	if res.FromKstat != res.Direct {
+		t.Errorf("counter-derived table diverges from direct:\nfrom kstat %+v\ndirect     %+v", res.FromKstat, res.Direct)
+	}
+	gi, gc, gb, gcpi := res.FromKstat.Ratios()
+	pi, pc, pb, pcpi := bench.PaperTable2.Ratios()
+	t.Logf("counter-derived ratios %.2f/%.2f/%.2f/%.2f vs paper %.2f/%.2f/%.2f/%.2f",
+		gi, gc, gb, gcpi, pi, pc, pb, pcpi)
+	within := func(name string, got, want, tol float64) {
+		if got < want/tol || got > want*tol {
+			t.Errorf("%s ratio %.2f vs paper %.2f beyond %.1fx tolerance", name, got, want, tol)
+		}
+	}
+	within("instructions", gi, pi, 1.4)
+	within("cycles", gc, pc, 1.6)
+	within("bus", gb, pb, 1.6)
+	within("cpi", gcpi, pcpi, 1.5)
+}
+
+func TestWorkloadObservationOnly(t *testing.T) {
+	// Two identical boots; detach the fabric from one.  A Table 1 workload
+	// must model exactly the same cycles on both.
+	a, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kstat.Detach(b.Kernel.CPU)
+	ra, err := workload.Run(workload.FileIntensive1, a.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := workload.Run(workload.FileIntensive1, b.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles {
+		t.Fatalf("kstat perturbed the workload: with=%d without=%d", ra.Cycles, rb.Cycles)
+	}
+	if kstat.For(a.Kernel.CPU).Counter("mach.rpc.calls").Value() == 0 {
+		t.Fatal("fabric attached but saw no RPC traffic")
 	}
 }

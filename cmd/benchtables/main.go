@@ -11,6 +11,7 @@
 //	benchtables -only fig1 # the architecture figure
 //	benchtables -only extras  # E5-E10 ablations
 //	benchtables -json results.json  # also write machine-readable records
+//	benchtables -stats stats.json   # per-workload kstat metrics appendix
 package main
 
 import (
@@ -43,6 +44,7 @@ func emit(table, name, metric string, measured, paper float64) {
 func main() {
 	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras (default all)")
 	jsonPath := flag.String("json", "", "also write the regenerated numbers as JSON records to this path")
+	statsPath := flag.String("stats", "", "write the per-workload kstat metrics appendix as JSON to this path")
 	flag.Parse()
 	run := func(name string) bool { return *only == "" || *only == name }
 	if run("fig1") {
@@ -62,6 +64,45 @@ func main() {
 	}
 	if *jsonPath != "" {
 		writeJSON(*jsonPath)
+	}
+	if *statsPath != "" {
+		statsAppendix(*statsPath)
+	}
+}
+
+// statsAppendix reruns the Table 1 workloads with the metrics fabric and
+// writes each one's kstat delta to path, printing a one-line summary per
+// workload.
+func statsAppendix(path string) {
+	rows, err := bench.Table1Stats()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Metrics appendix: per-workload kstat deltas (written to", path+")")
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-19s rpc=%d kernel-entries=%d vfs.read=%d vfs.write=%d fs-calls=%d drv-calls=%d\n",
+			r.Row,
+			r.Stats.Counters["mach.rpc.calls"],
+			r.Stats.Counters["mach.kernel.entries"],
+			r.Stats.Counters["vfs.ops.read"],
+			r.Stats.Counters["vfs.ops.write"],
+			r.Stats.Counters["mach.rpc.to.fileserver.calls"],
+			r.Stats.Counters["mach.rpc.to.blockdrv.calls"])
+	}
+	fmt.Println()
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

@@ -1,0 +1,227 @@
+// Command kstat boots Workplace OS, drives a workload, and renders the
+// system's metrics fabric — queried from the monitor server over the
+// system's own RPC, found through the name service like any other shared
+// service.
+//
+// Usage:
+//
+//	kstat -format text                      # one snapshot, human-readable
+//	kstat -format json                      # one snapshot, JSON
+//	kstat -format prom                      # Prometheus exposition
+//	kstat -format top -iters 5              # live top-style view
+//	kstat -family mach.rpc.                 # filter to one metric family
+//	kstat -workload none                    # just the booted system
+//
+// Boot flags mirror cmd/wpos: -driver, -mem, -pool, -simple-names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kstat"
+	"repro/internal/monitor"
+	"repro/internal/netsvc"
+	"repro/internal/workload"
+)
+
+var workloads = map[string]workload.Row{
+	"file1":    workload.FileIntensive1,
+	"file2":    workload.FileIntensive2,
+	"gfx-low":  workload.GraphicsLow,
+	"gfx-med":  workload.GraphicsMedium,
+	"gfx-high": workload.GraphicsHigh,
+	"pm-med":   workload.PMTaskingMedium,
+	"pm-high":  workload.PMTaskingHigh,
+}
+
+func main() {
+	var (
+		driver   = flag.String("driver", "user", "block driver model: user, kernel, ooddm")
+		mem      = flag.Int("mem", 64, "installed memory in MB")
+		simple   = flag.Bool("simple-names", false, "also start the Release 2 simplified name service")
+		pool     = flag.Int("pool", 1, "server threads per RPC server")
+		wl       = flag.String("workload", "file1", "traffic source: file1, file2, gfx-low, gfx-med, gfx-high, pm-med, pm-high, none")
+		format   = flag.String("format", "text", "output: text, json, prom, top")
+		family   = flag.String("family", "", "restrict output to metrics with this name prefix")
+		iters    = flag.Int("iters", 5, "top mode: workload iterations (one frame each)")
+		interval = flag.Duration("interval", 500*time.Millisecond, "top mode: delay between frames")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.MemoryMB = *mem
+	cfg.SimpleNames = *simple
+	cfg.ServerPool = *pool
+	switch *driver {
+	case "kernel":
+		cfg.Driver = core.DriverKernel
+	case "ooddm":
+		cfg.Driver = core.DriverOODDM
+	default:
+		cfg.Driver = core.DriverUser
+	}
+	cfg.ObjectMode = netsvc.FineGrained
+
+	row, haveRow := workloads[*wl]
+	if !haveRow && *wl != "none" {
+		fmt.Fprintf(os.Stderr, "kstat: unknown workload %q\n", *wl)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := core.Boot(cfg)
+	check(err)
+
+	// Find the monitor through the name service and connect over RPC —
+	// the observability plane uses the same shared-service plumbing it
+	// observes.
+	b, err := s.Names.Lookup("/servers/monitor")
+	check(err)
+	viewer := s.Kernel.NewTask("kstat-cli")
+	th, err := viewer.NewBoundThread("main")
+	check(err)
+	c, err := monitor.Connect(th, b.Task, b.Port)
+	check(err)
+
+	if *format == "top" {
+		if !haveRow {
+			fmt.Fprintln(os.Stderr, "kstat: top mode needs a workload to drive traffic")
+			os.Exit(2)
+		}
+		top(s, c, row, *iters, *interval)
+		return
+	}
+
+	if haveRow {
+		_, err = workload.Run(row, s.WorkloadEnv())
+		check(err)
+	}
+	var snap kstat.Snapshot
+	if *family != "" {
+		snap, err = c.Family(*family)
+	} else {
+		snap, _, err = c.Snapshot()
+	}
+	check(err)
+	switch *format {
+	case "text":
+		check(kstat.WriteText(os.Stdout, snap))
+	case "json":
+		check(kstat.WriteJSON(os.Stdout, snap))
+	case "prom":
+		check(kstat.WriteProm(os.Stdout, snap))
+	default:
+		fmt.Fprintf(os.Stderr, "kstat: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+// top renders a live view: each frame runs the workload once, polls the
+// monitor for the delta since the previous frame, and redraws.
+func top(s *core.System, c *monitor.Client, row workload.Row, iters int, interval time.Duration) {
+	_, baseline, err := c.Snapshot()
+	check(err)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		res, err := workload.Run(row, s.WorkloadEnv())
+		check(err)
+		d, next, err := c.DeltaSince(baseline)
+		check(err)
+		baseline = next
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		renderFrame(d, res, i+1, iters, time.Since(start))
+		if i < iters-1 {
+			time.Sleep(interval)
+		}
+	}
+}
+
+func renderFrame(d kstat.Snapshot, res workload.Result, frame, iters int, wall time.Duration) {
+	fmt.Printf("kstat top — %s  frame %d/%d  (%d modeled cycles, %v wall)\n\n",
+		res.Row, frame, iters, res.Cycles, wall.Round(time.Millisecond))
+
+	calls := d.Counters["mach.rpc.calls"]
+	fmt.Printf("RPC       %8d calls  %6d errors  %10d B in  %10d B out  kernel entries %d\n",
+		calls, d.Counters["mach.rpc.errors"],
+		d.Counters["mach.rpc.bytes_in"], d.Counters["mach.rpc.bytes_out"],
+		d.Counters["mach.kernel.entries"])
+	if h, ok := d.Histograms["mach.rpc.latency_cycles"]; ok && h.Count > 0 {
+		fmt.Printf("latency   p50=%d  p99=%d  max=%d cycles  (n=%d, mean=%.0f)\n",
+			h.Quantile(0.5), h.Quantile(0.99), h.Max(), h.Count, h.Mean())
+	}
+
+	// Per-server call split, busiest first.
+	type srvRow struct {
+		name  string
+		calls uint64
+	}
+	var srvs []srvRow
+	for name, v := range d.Counters {
+		if rest, ok := strings.CutPrefix(name, "mach.rpc.to."); ok {
+			srvs = append(srvs, srvRow{strings.TrimSuffix(rest, ".calls"), v})
+		}
+	}
+	sort.Slice(srvs, func(i, j int) bool {
+		if srvs[i].calls != srvs[j].calls {
+			return srvs[i].calls > srvs[j].calls
+		}
+		return srvs[i].name < srvs[j].name
+	})
+	if len(srvs) > 0 {
+		fmt.Printf("\n%-16s %10s %8s\n", "SERVER", "CALLS", "SHARE")
+		for _, r := range srvs {
+			share := 0.0
+			if calls > 0 {
+				share = 100 * float64(r.calls) / float64(calls)
+			}
+			fmt.Printf("%-16s %10d %7.1f%%\n", r.name, r.calls, share)
+		}
+	}
+
+	// Server pools: current occupancy (gauges) and ops this frame.
+	var pools []string
+	for name := range d.Gauges {
+		if rest, ok := strings.CutPrefix(name, "mach.pool."); ok {
+			if p, ok := strings.CutSuffix(rest, ".workers"); ok {
+				pools = append(pools, p)
+			}
+		}
+	}
+	sort.Strings(pools)
+	if len(pools) > 0 {
+		fmt.Printf("\n%-24s %8s %8s %10s\n", "POOL", "BUSY", "WORKERS", "OPS")
+		for _, p := range pools {
+			fmt.Printf("%-24s %8d %8d %10d\n", p,
+				d.Gauges["mach.pool."+p+".busy"],
+				d.Gauges["mach.pool."+p+".workers"],
+				d.Counters["mach.pool."+p+".ops"])
+		}
+	}
+
+	// Subsystem one-liners, only when the frame touched them.
+	sub := []struct{ label, a, b string }{
+		{"vfs", "vfs.ops.read", "vfs.ops.write"},
+		{"pager", "pager.pageins", "pager.pageouts"},
+		{"netsvc", "netsvc.sent", "netsvc.delivered"},
+		{"ksync", "ksync.kernel_ops", "ksync.user_ops"},
+	}
+	fmt.Println()
+	for _, r := range sub {
+		if d.Counters[r.a]+d.Counters[r.b] > 0 {
+			fmt.Printf("%-8s %s=%d %s=%d\n", r.label, r.a, d.Counters[r.a], r.b, d.Counters[r.b])
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kstat:", err)
+		os.Exit(1)
+	}
+}

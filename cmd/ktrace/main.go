@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -80,7 +81,13 @@ func main() {
 
 	switch *format {
 	case "chrome":
-		if err := ktrace.WriteChromeTrace(w, tr.Events()); err != nil {
+		// Buffer the per-event stream: a full ring is hundreds of
+		// thousands of small writes, but never the whole JSON in memory.
+		bw := bufio.NewWriter(w)
+		if err := ktrace.WriteChromeTrace(bw, tr.Events()); err != nil {
+			fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
 			fatal(err)
 		}
 	case "summary":

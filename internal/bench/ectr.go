@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+	"repro/internal/mach"
+)
+
+// Experiment E-CTR: derive Table 2's trap-versus-RPC comparison purely
+// from the kstat fabric during a normal run, and prove at the same time
+// that the fabric is observation-only — the direct measurement taken with
+// kstat attached must be byte-identical to one taken without it.
+
+// CounterTable2Result pairs the direct counter-bracketed measurement with
+// the one reconstructed from kstat family deltas over the same run.
+type CounterTable2Result struct {
+	// Direct is Table 2 measured the classic way (engine counter deltas
+	// around the loops), with the kstat fabric attached and recording.
+	Direct Table2Result
+	// FromKstat is the same table rebuilt only from kstat counters:
+	// per-operation averages of the mach.trap.* and mach.rpc.* families.
+	FromKstat Table2Result
+	// TrapOps and RPCOps are the operation counts the fabric saw inside
+	// the measured windows; both must equal the loop length exactly.
+	TrapOps, RPCOps uint64
+}
+
+// CounterTable2 reruns the Table 2 rig with the metrics fabric attached.
+func CounterTable2() (CounterTable2Result, error) {
+	k := mach.New(cpu.Pentium133())
+	st := kstat.Attach(k.CPU)
+	defer kstat.Detach(k.CPU)
+	srv := k.NewTask("server")
+	recv, err := srv.AllocatePort()
+	if err != nil {
+		return CounterTable2Result{}, err
+	}
+	if _, err := srv.Spawn("loop", func(th *mach.Thread) {
+		th.Serve(recv, func(m *mach.Message) *mach.Message { return &mach.Message{Body: m.Body} })
+	}); err != nil {
+		return CounterTable2Result{}, err
+	}
+	client := k.NewTask("client")
+	sendName, err := client.InsertRight(srv, recv, mach.DispMakeSend)
+	if err != nil {
+		return CounterTable2Result{}, err
+	}
+	th, err := client.NewBoundThread("main")
+	if err != nil {
+		return CounterTable2Result{}, err
+	}
+
+	const warm, N = 50, 400
+	body := make([]byte, 32)
+	for i := 0; i < warm; i++ {
+		if _, err := th.RPC(sendName, &mach.Message{Body: body}); err != nil {
+			return CounterTable2Result{}, err
+		}
+	}
+	markRPC := st.Snapshot()
+	base := k.CPU.Counters()
+	for i := 0; i < N; i++ {
+		th.RPC(sendName, &mach.Message{Body: body})
+	}
+	rpc := k.CPU.Counters().Sub(base)
+	rpcDelta := st.Snapshot().Delta(markRPC)
+
+	for i := 0; i < warm; i++ {
+		th.Self()
+	}
+	markTrap := st.Snapshot()
+	base = k.CPU.Counters()
+	for i := 0; i < N; i++ {
+		th.Self()
+	}
+	trap := k.CPU.Counters().Sub(base)
+	trapDelta := st.Snapshot().Delta(markTrap)
+
+	res := CounterTable2Result{
+		Direct: Table2Result{
+			TrapInstr:  float64(trap.Instructions) / N,
+			RPCInstr:   float64(rpc.Instructions) / N,
+			TrapCycles: float64(trap.Cycles) / N,
+			RPCCycles:  float64(rpc.Cycles) / N,
+			TrapBus:    float64(trap.BusCycles) / N,
+			RPCBus:     float64(rpc.BusCycles) / N,
+		},
+		TrapOps: trapDelta.Counters["mach.trap.count"],
+		RPCOps:  rpcDelta.Counters["mach.rpc.calls"],
+	}
+	res.Direct.TrapCPI = res.Direct.TrapCycles / res.Direct.TrapInstr
+	res.Direct.RPCCPI = res.Direct.RPCCycles / res.Direct.RPCInstr
+	if res.TrapOps == 0 || res.RPCOps == 0 {
+		return res, fmt.Errorf("bench: kstat saw no operations (trap=%d rpc=%d)", res.TrapOps, res.RPCOps)
+	}
+	res.FromKstat = Table2Result{
+		TrapInstr:  float64(trapDelta.Counters["mach.trap.instr"]) / float64(res.TrapOps),
+		RPCInstr:   float64(rpcDelta.Counters["mach.rpc.instr"]) / float64(res.RPCOps),
+		TrapCycles: float64(trapDelta.Counters["mach.trap.cycles"]) / float64(res.TrapOps),
+		RPCCycles:  float64(rpcDelta.Counters["mach.rpc.cycles"]) / float64(res.RPCOps),
+		TrapBus:    float64(trapDelta.Counters["mach.trap.bus"]) / float64(res.TrapOps),
+		RPCBus:     float64(rpcDelta.Counters["mach.rpc.bus"]) / float64(res.RPCOps),
+	}
+	res.FromKstat.TrapCPI = res.FromKstat.TrapCycles / res.FromKstat.TrapInstr
+	res.FromKstat.RPCCPI = res.FromKstat.RPCCycles / res.FromKstat.RPCInstr
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/kstat"
+	"repro/internal/workload"
+)
+
+// WorkloadStats is the kstat appendix for one Table 1 workload: the
+// metric deltas the fabric recorded while the workload ran on WPOS.
+type WorkloadStats struct {
+	Row    string         `json:"row"`
+	Cycles uint64         `json:"cycles"`
+	Stats  kstat.Snapshot `json:"stats"`
+}
+
+// Table1Stats reruns the Table 1 workloads on a freshly booted WPOS and
+// captures each one's kstat delta — what crossed the RPC path, which
+// servers were called, what the file server and pager did — alongside the
+// cycle total the table reports.
+func Table1Stats() ([]WorkloadStats, error) {
+	var out []WorkloadStats
+	for _, row := range workload.Rows {
+		s, err := core.Boot(core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		mark := s.Stats.Snapshot()
+		res, err := workload.Run(row, s.WorkloadEnv())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WorkloadStats{
+			Row:    string(row),
+			Cycles: res.Cycles,
+			Stats:  s.Stats.Snapshot().Delta(mark),
+		})
+	}
+	return out, nil
+}

@@ -19,11 +19,13 @@ import (
 	"repro/internal/hpfs"
 	"repro/internal/iosys"
 	"repro/internal/jfs"
+	"repro/internal/kstat"
 	"repro/internal/ksync"
 	"repro/internal/ktime"
 	"repro/internal/ktrace"
 	"repro/internal/loader"
 	"repro/internal/mach"
+	"repro/internal/monitor"
 	"repro/internal/mvm"
 	"repro/internal/names"
 	"repro/internal/netsvc"
@@ -109,6 +111,11 @@ type System struct {
 	Files    *vfs.Server
 	Net      *netsvc.Stack
 	Registry *registry.Server
+	Monitor  *monitor.Server
+
+	// Stats is the system-wide kstat metric set, attached to the
+	// kernel's engine for the system's whole life (boot included).
+	Stats *kstat.Set
 
 	// Personalities.
 	OS2   *os2.Server
@@ -135,11 +142,19 @@ func Boot(cfg Config) (*System, error) {
 	// 1. Microkernel (privileged state).
 	s.Kernel = mach.New(cfg.CPU)
 	layout := s.Kernel.Layout()
+	// Metrics fabric: attached before anything else runs, so boot itself
+	// is counted.  Observation hooks throughout the system find this set
+	// via kstat.For and never charge the cost model.
+	s.Stats = kstat.Attach(s.Kernel.CPU)
 	s.VM = vm.NewSystem(uint64(cfg.MemoryMB) << 20)
-	// VM fault observation for ktrace: the hook fires only when a tracer
-	// is attached to this kernel's engine and never charges the model.
+	// VM fault observation for ktrace and kstat: the hooks fire only when
+	// an observer is attached to this kernel's engine and never charge
+	// the model.
 	eng := s.Kernel.CPU
 	s.VM.SetFaultObserver(func(asid, addr uint64, write bool) {
+		if st := kstat.For(eng); st != nil {
+			st.Counter("vm.faults").Inc()
+		}
 		if t := ktrace.For(eng); t != nil {
 			kind := "fault:read"
 			if write {
@@ -308,6 +323,20 @@ func Boot(cfg Config) (*System, error) {
 	if len(cfg.Personalities) > 0 {
 		s.Loader.Seal()
 	}
+
+	// 7. Monitor server: the metrics fabric exported as a shared service
+	// over the system's own RPC, last so it can observe everything above.
+	s.Monitor, err = monitor.NewServer(s.Kernel, s.Stats, cfg.ServerPool)
+	if err != nil {
+		return nil, err
+	}
+	// Published with its service port so any task can connect through the
+	// name service alone (monitor.Connect on the looked-up binding).
+	s.Names.Bind("/servers/monitor", names.Binding{
+		Task: s.Monitor.Task(), Port: s.Monitor.Port(),
+		Attrs: []names.Attr{{Key: "class", Value: "shared-service"}},
+	})
+	log("monitor: kstat fabric exported at /servers/monitor")
 	return s, nil
 }
 
@@ -364,6 +393,7 @@ func (s *System) Inventory() []Component {
 		{"shared", "Networking"},
 		{"shared", "Registry"},
 		{"shared", "Device Drivers (" + s.Block.Model() + ")"},
+		{"shared", "Monitor"},
 	}
 	if s.OS2 != nil {
 		out = append(out, Component{"personality", "OS/2 Server"})

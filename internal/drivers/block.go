@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/iosys"
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/mach"
 	"repro/internal/objsys"
@@ -15,6 +16,9 @@ import (
 // traceIO opens a driver-I/O span when tracing is attached to the engine.
 // The zero Span returned when tracing is off makes End a no-op.
 func traceIO(k *mach.Kernel, name string) ktrace.Span {
+	if st := kstat.For(k.CPU); st != nil {
+		st.Counter("drivers.io." + name).Inc()
+	}
 	if t := ktrace.For(k.CPU); t != nil {
 		return t.Begin(ktrace.EvDriverIO, "drivers", name, ktrace.SpanContext{})
 	}

@@ -1,0 +1,133 @@
+package kstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exposition formats over a Snapshot.  These render whatever snapshot
+// they are given — full, delta, or filtered — so the CLI and the monitor
+// protocol compose freely.
+
+// WriteJSON renders the snapshot as indented JSON.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders a human-readable listing: counters and gauges one per
+// line, histograms with count/mean/p50/p99/max.
+func WriteText(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%-44s %12d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%-44s %12d (gauge)\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "%-44s n=%d mean=%.1f p50=%d p99=%d max=%d\n",
+			k, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a family name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format: counters as <name>_total, gauges plain, histograms as
+// cumulative <name>_bucket{le="..."} series plus _sum and _count.  Only
+// occupied buckets (and the mandatory +Inf) are emitted; the series stays
+// cumulative, so it parses as a standard histogram.
+func WriteProm(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", n, n, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		idx := make([]int, 0, len(h.Buckets))
+		for i := range h.Buckets {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		var cum uint64
+		for _, i := range idx {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, BucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, h.Count, n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package kstat
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketMapping checks that every value lands in a bucket whose upper
+// bound is >= the value and within the documented relative error.
+func TestBucketMapping(t *testing.T) {
+	vals := []uint64{0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1<<63 + 1, ^uint64(0)}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		up := BucketUpper(i)
+		if up < v {
+			t.Errorf("BucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		// Relative error bound: one sub-bucket width.
+		if v >= subCount {
+			if float64(up-v) > float64(v)/subCount {
+				t.Errorf("value %d: bound %d overshoots by more than 1/%d", v, up, subCount)
+			}
+		} else if up != v {
+			t.Errorf("small value %d: want exact bucket, got bound %d", v, up)
+		}
+		// Bucket bounds must be monotone.
+		if i > 0 && BucketUpper(i-1) >= up {
+			t.Errorf("bucket bounds not monotone at %d: %d >= %d", i, BucketUpper(i-1), up)
+		}
+	}
+}
+
+// TestHistogramConcurrentMerge is the pooled-server correctness gate:
+// recorders running in parallel on one histogram must produce exactly the
+// bucket counts of a serial run over the same values, and merging
+// per-recorder histograms must equal the shared one.  Run under -race in
+// the tier-2 gate.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	const workers, per = 8, 5000
+	rng := rand.New(rand.NewSource(1))
+	vals := make([][]uint64, workers)
+	for w := range vals {
+		vals[w] = make([]uint64, per)
+		for i := range vals[w] {
+			vals[w][i] = uint64(rng.Int63n(1 << 30))
+		}
+	}
+
+	// Serial reference.
+	var serial Histogram
+	for _, vs := range vals {
+		for _, v := range vs {
+			serial.Observe(v)
+		}
+	}
+
+	// Parallel recorders into one shared histogram.
+	var shared Histogram
+	// ... and one histogram per recorder, merged afterwards.
+	parts := make([]Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, v := range vals[w] {
+				shared.Observe(v)
+				parts[w].Observe(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := serial.Snapshot()
+	got := shared.Snapshot()
+	merged := HistSnapshot{Buckets: map[int]uint64{}}
+	for w := range parts {
+		merged = merged.Merge(parts[w].Snapshot())
+	}
+
+	for name, s := range map[string]HistSnapshot{"shared": got, "merged": merged} {
+		if s.Count != want.Count || s.Sum != want.Sum {
+			t.Errorf("%s: count/sum %d/%d, want %d/%d", name, s.Count, s.Sum, want.Count, want.Sum)
+		}
+		if len(s.Buckets) != len(want.Buckets) {
+			t.Errorf("%s: %d occupied buckets, want %d", name, len(s.Buckets), len(want.Buckets))
+		}
+		for i, n := range want.Buckets {
+			if s.Buckets[i] != n {
+				t.Errorf("%s: bucket %d = %d, want %d", name, i, s.Buckets[i], n)
+			}
+		}
+	}
+}
+
+// TestQuantileAccuracy bounds the quantile estimate against the exact
+// order statistics of the recorded values: the estimate must be >= the
+// true quantile and overshoot by no more than one sub-bucket (12.5%).
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h Histogram
+	vals := make([]uint64, 20000)
+	for i := range vals {
+		// Log-uniform-ish spread across 5 decades.
+		v := uint64(1) << uint(rng.Intn(24))
+		v += uint64(rng.Int63n(int64(v)))
+		vals[i] = v
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		rank := int(q * float64(len(sorted)))
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		truth := sorted[rank]
+		est := s.Quantile(q)
+		if est < truth {
+			t.Errorf("q=%.2f: estimate %d below true %d", q, est, truth)
+		}
+		if truth >= subCount && float64(est-truth) > float64(truth)/subCount+1 {
+			t.Errorf("q=%.2f: estimate %d overshoots true %d beyond one sub-bucket", q, est, truth)
+		}
+	}
+	if got := s.Quantile(1); got < sorted[len(sorted)-1] {
+		t.Errorf("p100 %d below max %d", got, sorted[len(sorted)-1])
+	}
+}
+
+// TestHistogramSub checks interval extraction: sub(prev) of a growing
+// histogram yields exactly the between-marks distribution.
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(100)
+	before := h.Snapshot()
+	h.Observe(100)
+	h.Observe(1000)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 || d.Sum != 1100 {
+		t.Fatalf("delta count/sum = %d/%d, want 2/1100", d.Count, d.Sum)
+	}
+	if d.Buckets[bucketIndex(10)] != 0 {
+		t.Errorf("delta kept pre-mark bucket")
+	}
+	if d.Buckets[bucketIndex(100)] != 1 || d.Buckets[bucketIndex(1000)] != 1 {
+		t.Errorf("delta buckets wrong: %+v", d.Buckets)
+	}
+}

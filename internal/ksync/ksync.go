@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 )
 
 // Costs holds the calibrated instruction costs of the synchronizer paths.
@@ -60,11 +61,17 @@ func NewFactory(eng *cpu.Engine, layout *cpu.Layout) *Factory {
 }
 
 func (f *Factory) kernelOp() {
+	if st := kstat.For(f.eng); st != nil {
+		st.Counter("ksync.kernel_ops").Inc()
+	}
 	f.eng.Stall(f.costs.TrapCycles)
 	f.eng.Exec(f.kernelPath)
 }
 
 func (f *Factory) userOp() {
+	if st := kstat.For(f.eng); st != nil {
+		st.Counter("ksync.user_ops").Inc()
+	}
 	f.eng.Exec(f.userPath)
 }
 

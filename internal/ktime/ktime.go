@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 )
 
 // Time is a simulated timestamp in nanoseconds since boot.
@@ -60,6 +61,9 @@ func NewClock(eng *cpu.Engine, layout *cpu.Layout, mhz uint64) *Clock {
 // Now returns the current simulated time: elapsed cycles at the clock
 // rate, plus any manual advancement.
 func (c *Clock) Now() Time {
+	if st := kstat.For(c.eng); st != nil {
+		st.Counter("ktime.clock_reads").Inc()
+	}
 	c.eng.Exec(c.readOp)
 	cyc := c.eng.Counters().Cycles
 	c.mu.Lock()
@@ -119,6 +123,9 @@ func (c *Clock) Every(period Duration, fn func(Time)) *Timer {
 }
 
 func (c *Clock) schedule(d Duration, period Duration, fn func(Time)) *Timer {
+	if st := kstat.For(c.eng); st != nil {
+		st.Counter("ktime.timers_set").Inc()
+	}
 	c.eng.Exec(c.adminOp)
 	now := c.Now()
 	c.mu.Lock()

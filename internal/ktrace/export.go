@@ -26,10 +26,14 @@ type chromeEvent struct {
 // Spans become complete ("X") events carrying their counter deltas;
 // instant events become "i" events.  Each causal tree gets its own track
 // (tid = TraceID).
+//
+// The array is streamed: each event is marshalled and written on its own,
+// so a full ring export holds one event in memory at a time rather than
+// the whole JSON document.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	var out []chromeEvent
+	s := chromeStream{w: w}
 	for _, sc := range BuildSpans(events) {
-		out = append(out, chromeEvent{
+		if err := s.emit(chromeEvent{
 			Name: sc.Subsystem + ":" + sc.Name,
 			Cat:  sc.Type.String(),
 			Ph:   "X",
@@ -42,13 +46,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				"bus": sc.InclBus, "excl_cycles": sc.ExclCycles,
 				"span": sc.SpanID, "parent": sc.ParentID,
 			},
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	for _, e := range events {
 		if e.Phase != PhaseInstant {
 			continue
 		}
-		out = append(out, chromeEvent{
+		if err := s.emit(chromeEvent{
 			Name: e.Subsystem + ":" + e.Name,
 			Cat:  e.Type.String(),
 			Ph:   "i",
@@ -56,13 +62,43 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			PID:  1,
 			TID:  e.TraceID,
 			Args: map[string]uint64{"arg": e.Arg},
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(w)
-	if out == nil {
-		out = []chromeEvent{}
+	return s.close()
+}
+
+// chromeStream writes a JSON array one element at a time.
+type chromeStream struct {
+	w      io.Writer
+	opened bool
+}
+
+func (s *chromeStream) emit(e chromeEvent) error {
+	sep := ",\n"
+	if !s.opened {
+		s.opened = true
+		sep = "[\n"
 	}
-	return enc.Encode(out)
+	if _, err := io.WriteString(s.w, sep); err != nil {
+		return err
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(b)
+	return err
+}
+
+func (s *chromeStream) close() error {
+	if !s.opened {
+		_, err := io.WriteString(s.w, "[]\n")
+		return err
+	}
+	_, err := io.WriteString(s.w, "\n]\n")
+	return err
 }
 
 // WriteSummary prints the per-subsystem exclusive-cost attribution table

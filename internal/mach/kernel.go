@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 )
 
 // TaskID identifies a task.
@@ -180,6 +181,9 @@ func (k *Kernel) Host() *Host { return k.host }
 
 // trap charges one kernel entry: user->kernel privilege transition.
 func (k *Kernel) trap() {
+	if st := kstat.For(k.CPU); st != nil {
+		st.Counter("mach.kernel.entries").Inc()
+	}
 	k.CPU.Stall(k.tun.TrapCycles)
 	k.CPU.Overhead(0, k.tun.TrapBusEntry)
 	k.CPU.Exec(k.paths.trapEntry)

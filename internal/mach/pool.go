@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 )
 
@@ -27,6 +28,10 @@ type ServerPool struct {
 	task    *Task
 	threads []*Thread
 	ops     []atomic.Uint64
+
+	// kstat family names, precomputed so the worker loop does no string
+	// concatenation per request.
+	busyFam, opsFam, workersFam string
 }
 
 // receiveFn blocks one worker until a request arrives, returning the
@@ -59,6 +64,11 @@ func (t *Task) servePool(name string, n int, recv receiveFn, h func(PortName, *M
 		n = 1
 	}
 	p := &ServerPool{task: t, ops: make([]atomic.Uint64, n), threads: make([]*Thread, 0, n)}
+	fam := "mach.pool." + t.name + "/" + name
+	p.busyFam, p.opsFam, p.workersFam = fam+".busy", fam+".ops", fam+".workers"
+	if st := kstat.For(t.kernel.CPU); st != nil {
+		st.Gauge(p.workersFam).Set(int64(n))
+	}
 	for i := 0; i < n; i++ {
 		idx := i
 		th, err := t.Spawn(fmt.Sprintf("%s/%d", name, i), func(th *Thread) {
@@ -88,12 +98,24 @@ func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName
 		if err != nil {
 			return
 		}
+		// Worker occupancy: the busy gauge covers handler + reply, the
+		// same segment the EvRPCServe span attributes, so the monitor's
+		// pool occupancy and the trace calibration agree on what "busy"
+		// means.
+		st := kstat.For(k.CPU)
+		if st != nil {
+			st.Gauge(p.busyFam).Inc()
+		}
 		if tr := ktrace.For(k.CPU); tr != nil {
 			sp := tr.Begin(ktrace.EvRPCServe, "mach.rpc", "serve:"+th.task.name+"/"+th.name, req.trace)
 			_ = resp.Reply(h(pn, req))
 			sp.End()
 		} else {
 			_ = resp.Reply(h(pn, req))
+		}
+		if st != nil {
+			st.Gauge(p.busyFam).Dec()
+			st.Counter(p.opsFam).Inc()
 		}
 		p.ops[idx].Add(1)
 	}

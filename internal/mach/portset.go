@@ -1,6 +1,11 @@
 package mach
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kstat"
+)
 
 // Port sets, inherited from Mach 3.0: a receive right can be moved into a
 // port set, and a single server thread receiving on the set services all
@@ -18,6 +23,11 @@ type PortSet struct {
 
 	// ch receives exchanges forwarded from member ports.
 	ch chan setDelivery
+
+	// pendFam is the kstat queue-depth gauge: exchanges a forwarder has
+	// taken from a member port's rendezvous but no server thread has
+	// received yet.
+	pendFam string
 }
 
 type setDelivery struct {
@@ -37,11 +47,13 @@ func (t *Task) AllocatePortSet() (*PortSet, error) {
 	if t.dead {
 		return nil, ErrInvalidTask
 	}
+	id := k.allocPortID()
 	return &PortSet{
-		id:      k.allocPortID(),
+		id:      id,
 		task:    t,
 		members: make(map[*Port]PortName),
 		ch:      make(chan setDelivery),
+		pendFam: fmt.Sprintf("mach.portset.%s/%d.pending", t.name, id),
 	}, nil
 }
 
@@ -104,9 +116,17 @@ func (ps *PortSet) forward(port *Port, name PortName) {
 				ex.fail(ErrDeadPort)
 				return
 			}
+			st := kstat.For(ps.task.kernel.CPU)
+			if st != nil {
+				st.Gauge(ps.pendFam).Inc()
+			}
 			select {
 			case ps.ch <- setDelivery{ex: ex, port: port, name: name}:
+				// The receiver decrements in RPCReceiveSet.
 			case <-ex.abort:
+				if st != nil {
+					st.Gauge(ps.pendFam).Dec()
+				}
 			}
 		case <-port.rpcClosed():
 			return
@@ -173,6 +193,9 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 	var d setDelivery
 	select {
 	case d = <-ps.ch:
+		if st := kstat.For(k.CPU); st != nil {
+			st.Gauge(ps.pendFam).Dec()
+		}
 	case <-th.abort:
 		return nil, nil, NullName, ErrAborted
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 )
 
@@ -56,8 +57,49 @@ func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (
 	return th.rpcCall(dest, req, timer.C)
 }
 
-// rpcCall is the shared client path.  A nil deadline channel never fires.
+// rpcCall wraps the shared client path with the kstat RPC families.  The
+// hooks only read the engine's counters (never charge them), so the
+// wrapped path costs exactly what the raw path does; the per-call
+// instr/cycles deltas are exact for serial callers and interleave under
+// concurrency (counts and bytes stay exact either way).
 func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time) (*Message, error) {
+	k := th.task.kernel
+	st := kstat.For(k.CPU)
+	if st == nil {
+		return th.rpcCallRaw(dest, req, deadline)
+	}
+	reqBytes := uint64(len(req.Body) + len(req.OOL))
+	// Calls and request bytes count at dispatch, so a server taking a
+	// snapshot while handling this very call (the monitor serving its own
+	// query) already sees it; latency and reply size land after.
+	st.Counter("mach.rpc.calls").Inc()
+	st.Counter("mach.rpc.bytes_in").Add(reqBytes)
+	// Per-destination-server split for the top view, via a charge-free
+	// right lookup.
+	if e, lerr := th.task.ports.lookup(dest, RightSend); lerr == nil {
+		if rt := e.port.receiverTask(); rt != nil {
+			st.Counter("mach.rpc.to." + rt.name + ".calls").Inc()
+		}
+	}
+	base := k.CPU.Counters()
+	m, err := th.rpcCallRaw(dest, req, deadline)
+	d := k.CPU.Counters().Sub(base)
+	st.Counter("mach.rpc.instr").Add(d.Instructions)
+	st.Counter("mach.rpc.cycles").Add(d.Cycles)
+	st.Counter("mach.rpc.bus").Add(d.BusCycles)
+	st.Histogram("mach.rpc.latency_cycles").Observe(d.Cycles)
+	st.Histogram("mach.rpc.size_bytes").Observe(reqBytes)
+	if err != nil {
+		st.Counter("mach.rpc.errors").Inc()
+	} else {
+		st.Counter("mach.rpc.bytes_out").Add(uint64(len(m.Body) + len(m.OOL)))
+	}
+	return m, err
+}
+
+// rpcCallRaw is the shared client path.  A nil deadline channel never
+// fires.
+func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.Time) (*Message, error) {
 	k := th.task.kernel
 	if len(req.Body) > InlineMax {
 		return nil, ErrMsgTooLarge

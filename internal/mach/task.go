@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cpu"
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 )
 
@@ -235,10 +237,26 @@ func (th *Thread) Done() <-chan struct{} { return th.doneCh }
 // instructions on the calibrated model.
 func (th *Thread) Self() PortName {
 	k := th.task.kernel
+	st := kstat.For(k.CPU)
+	var base cpu.Counters
+	if st != nil {
+		base = k.CPU.Counters()
+	}
 	k.trap()
 	k.CPU.Exec(k.paths.threadSelf)
 	k.touchKData(uint64(th.id), 64)
 	k.rti()
+	if st != nil {
+		// The mach.trap family is Table 2's trap column accumulated live:
+		// E-CTR (bench.CounterTable2) derives the trap-vs-RPC ratios from
+		// these counters alone.  Reads only; nothing is charged.
+		d := k.CPU.Counters().Sub(base)
+		st.Counter("mach.trap.count").Inc()
+		st.Counter("mach.trap.instr").Add(d.Instructions)
+		st.Counter("mach.trap.cycles").Add(d.Cycles)
+		st.Counter("mach.trap.bus").Add(d.BusCycles)
+		st.Histogram("mach.trap.latency_cycles").Observe(d.Cycles)
+	}
 	return th.selfName
 }
 

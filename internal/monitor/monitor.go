@@ -1,0 +1,223 @@
+// Package monitor implements the kstat monitor server: a shared service
+// in the Figure 1 sense that exports the system's metrics fabric over the
+// system's own RPC.  Like the file server or the registry, it is an
+// ordinary multi-threaded server found through the name service — the
+// observability plane dogfoods the IPC path it observes.
+//
+// The protocol is three messages: a full snapshot (which also establishes
+// a baseline for later deltas), a delta since a previously returned
+// baseline, and a prefix-filtered family query.  Snapshots travel as JSON
+// in the reply's out-of-line region, so arbitrarily large metric sets
+// cross the same virtual-copy path any large payload would.
+package monitor
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+	"repro/internal/mach"
+)
+
+// Message IDs of the monitor protocol.
+const (
+	MsgSnapshot mach.MsgID = 0x1100 + iota
+	MsgDelta
+	MsgFamily
+)
+
+// Errors returned by the monitor.
+var (
+	ErrUnknownBaseline = errors.New("monitor: unknown or evicted snapshot id")
+	ErrBadRequest      = errors.New("monitor: malformed request")
+)
+
+// maxBaselines bounds the server's retained delta baselines; the oldest
+// is evicted first, so a client polling DeltaSince always has its most
+// recent baseline available while an abandoned one ages out.
+const maxBaselines = 16
+
+// Server is the monitor service task.
+type Server struct {
+	k    *mach.Kernel
+	set  *kstat.Set
+	path cpu.Region
+	task *mach.Task
+	port mach.PortName
+
+	mu        sync.Mutex
+	baselines map[uint64]kstat.Snapshot
+	order     []uint64
+	nextID    uint64
+}
+
+// NewServer starts the monitor over the given metric set with pool
+// service threads (pool <= 1 keeps a single server loop).
+//
+// Handler concurrency contract: with pool > 1 handle runs on up to pool
+// threads at once; the baseline store is guarded by s.mu and kstat
+// snapshots are safe to take concurrently.
+func NewServer(k *mach.Kernel, set *kstat.Set, pool int) (*Server, error) {
+	s := &Server{
+		k:         k,
+		set:       set,
+		path:      k.Layout().PlaceInstr("monitor_op", 520),
+		task:      k.NewTask("monitor"),
+		baselines: make(map[uint64]kstat.Snapshot),
+	}
+	port, err := s.task.AllocatePort()
+	if err != nil {
+		return nil, err
+	}
+	s.port = port
+	if _, err := s.task.ServePool("service", port, pool, s.handle); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Task returns the monitor task.
+func (s *Server) Task() *mach.Task { return s.task }
+
+// Port returns the monitor's service port, for publication in the name
+// service so clients can connect without holding the *Server.
+func (s *Server) Port() mach.PortName { return s.port }
+
+func (s *Server) handle(req *mach.Message) *mach.Message {
+	s.k.CPU.Exec(s.path)
+	switch req.ID {
+	case MsgSnapshot:
+		snap := s.set.Snapshot()
+		id := s.saveBaseline(snap)
+		return snapReply(id, snap)
+	case MsgDelta:
+		if len(req.Body) != 8 {
+			return toWire(ErrBadRequest)
+		}
+		base, ok := s.takeBaseline(binary.LittleEndian.Uint64(req.Body))
+		if !ok {
+			return toWire(ErrUnknownBaseline)
+		}
+		cur := s.set.Snapshot()
+		id := s.saveBaseline(cur)
+		return snapReply(id, cur.Delta(base))
+	case MsgFamily:
+		return snapReply(0, s.set.Snapshot().Filter(string(req.Body)))
+	default:
+		return toWire(ErrBadRequest)
+	}
+}
+
+// saveBaseline stores a snapshot for later delta queries, evicting the
+// oldest baseline past the cap, and returns its id.
+func (s *Server) saveBaseline(snap kstat.Snapshot) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.baselines[id] = snap
+	s.order = append(s.order, id)
+	for len(s.order) > maxBaselines {
+		delete(s.baselines, s.order[0])
+		s.order = s.order[1:]
+	}
+	return id
+}
+
+func (s *Server) takeBaseline(id uint64) (kstat.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.baselines[id]
+	return snap, ok
+}
+
+func snapReply(id uint64, snap kstat.Snapshot) *mach.Message {
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return toWire(err)
+	}
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	return &mach.Message{ID: 0, Body: idb[:], OOL: b}
+}
+
+var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest}
+
+func toWire(err error) *mach.Message {
+	return &mach.Message{ID: 1, Body: []byte(err.Error())}
+}
+
+func fromWire(msg string) error {
+	for _, e := range wireErrs {
+		if e.Error() == msg {
+			return e
+		}
+	}
+	return errors.New(msg)
+}
+
+// --- client ------------------------------------------------------------------
+
+// Client is the caller-side library for the monitor.
+type Client struct {
+	th   *mach.Thread
+	port mach.PortName
+}
+
+// NewClient connects a thread's task to the monitor.
+func (s *Server) NewClient(th *mach.Thread) (*Client, error) {
+	return Connect(th, s.task, s.port)
+}
+
+// Connect builds a client from a name-service binding: the monitor task
+// and its service port, as published at /servers/monitor.
+func Connect(th *mach.Thread, srv *mach.Task, port mach.PortName) (*Client, error) {
+	n, err := th.Task().InsertRight(srv, port, mach.DispMakeSend)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{th: th, port: n}, nil
+}
+
+func (c *Client) call(id mach.MsgID, body []byte) (uint64, kstat.Snapshot, error) {
+	reply, err := c.th.RPC(c.port, &mach.Message{ID: id, Body: body})
+	if err != nil {
+		return 0, kstat.Snapshot{}, err
+	}
+	if reply.ID != 0 {
+		return 0, kstat.Snapshot{}, fromWire(string(reply.Body))
+	}
+	var snap kstat.Snapshot
+	if err := json.Unmarshal(reply.OOL, &snap); err != nil {
+		return 0, kstat.Snapshot{}, err
+	}
+	if len(reply.Body) != 8 {
+		return 0, kstat.Snapshot{}, ErrBadRequest
+	}
+	return binary.LittleEndian.Uint64(reply.Body), snap, nil
+}
+
+// Snapshot fetches the full metric set and returns the baseline id the
+// server retained for a later DeltaSince.
+func (c *Client) Snapshot() (kstat.Snapshot, uint64, error) {
+	id, snap, err := c.call(MsgSnapshot, nil)
+	return snap, id, err
+}
+
+// DeltaSince fetches the change since the given baseline and returns the
+// fresh baseline id for the next poll — the top-style repeated query.
+func (c *Client) DeltaSince(baseline uint64) (kstat.Snapshot, uint64, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], baseline)
+	id, snap, err := c.call(MsgDelta, b[:])
+	return snap, id, err
+}
+
+// Family fetches only the metrics whose names start with prefix.
+func (c *Client) Family(prefix string) (kstat.Snapshot, error) {
+	_, snap, err := c.call(MsgFamily, []byte(prefix))
+	return snap, err
+}

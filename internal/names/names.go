@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/mach"
 )
@@ -173,6 +174,9 @@ func (s *Service) Bind(path string, b Binding) error {
 
 // Lookup resolves a path to its binding.
 func (s *Service) Lookup(path string) (Binding, error) {
+	if st := kstat.For(s.eng); st != nil {
+		st.Counter("names.lookups").Inc()
+	}
 	var sp ktrace.Span
 	if t := ktrace.For(s.eng); t != nil {
 		sp = t.Begin(ktrace.EvNameLookup, "names", "lookup:"+path, ktrace.SpanContext{})

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/drivers"
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/objsys"
 )
@@ -209,6 +210,10 @@ func (ep *Endpoint) SendTo(dstAddr string, dstPort uint16, payload []byte) error
 	s.mu.Lock()
 	s.sent++
 	s.mu.Unlock()
+	if st := kstat.For(s.eng); st != nil {
+		st.Counter("netsvc.sent").Inc()
+		st.Counter("netsvc.bytes_sent").Add(uint64(len(payload)))
+	}
 	return s.nic.Send(drivers.Frame{Src: s.addr, Dst: dstAddr, Payload: frame})
 }
 
@@ -259,10 +264,17 @@ func (s *Stack) deliver(f drivers.Frame) error {
 	if !ok {
 		s.dropped++
 		s.mu.Unlock()
+		if st := kstat.For(s.eng); st != nil {
+			st.Counter("netsvc.dropped").Inc()
+		}
 		return ErrNotBound
 	}
 	s.delivered++
 	s.mu.Unlock()
+	if st := kstat.For(s.eng); st != nil {
+		st.Counter("netsvc.delivered").Inc()
+		st.Counter("netsvc.bytes_delivered").Add(uint64(len(payload)))
+	}
 	ep.mu.Lock()
 	ep.queue = append(ep.queue, append([]byte(nil), payload...))
 	ep.mu.Unlock()
@@ -273,6 +285,9 @@ func (s *Stack) drop() {
 	s.mu.Lock()
 	s.dropped++
 	s.mu.Unlock()
+	if st := kstat.For(s.eng); st != nil {
+		st.Counter("netsvc.dropped").Inc()
+	}
 }
 
 // Recv pops the next queued datagram.

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 	"repro/internal/ksync"
 	"repro/internal/ktime"
 	"repro/internal/ktrace"
@@ -323,6 +324,9 @@ func (p *Process) stubCall() { p.srv.k.CPU.Exec(p.srv.stub) }
 // a new trace; everything the call causes downstream (file-server RPCs,
 // driver I/O, faults) hangs off it in the causal tree.
 func (p *Process) traceAPI(name string) ktrace.Span {
+	if st := kstat.For(p.srv.k.CPU); st != nil {
+		st.Counter("os2.api." + name).Inc()
+	}
 	if t := ktrace.For(p.srv.k.CPU); t != nil {
 		return t.Begin(ktrace.EvAPI, "os2", name, ktrace.SpanContext{})
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/vm"
 )
@@ -107,6 +108,9 @@ var _ vm.Pager = (*DefaultPager)(nil)
 // PageIn implements vm.Pager: returns stored contents, or zeros for pages
 // never evicted.
 func (p *DefaultPager) PageIn(obj *vm.Object, offset uint64) ([]byte, error) {
+	if st := kstat.For(p.eng); st != nil {
+		st.Counter("pager.pageins").Inc()
+	}
 	var sp ktrace.Span
 	if t := ktrace.For(p.eng); t != nil {
 		sp = t.Begin(ktrace.EvPageIn, "pager", "pagein", ktrace.SpanContext{})
@@ -131,6 +135,9 @@ func (p *DefaultPager) PageIn(obj *vm.Object, offset uint64) ([]byte, error) {
 
 // PageOut implements vm.Pager: stores an evicted page's contents.
 func (p *DefaultPager) PageOut(obj *vm.Object, offset uint64, data []byte) error {
+	if st := kstat.For(p.eng); st != nil {
+		st.Counter("pager.pageouts").Inc()
+	}
 	var sp ktrace.Span
 	if t := ktrace.For(p.eng); t != nil {
 		sp = t.Begin(ktrace.EvPageOut, "pager", "pageout", ktrace.SpanContext{})

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 	"repro/internal/mach"
 	"repro/internal/vfs"
 )
@@ -149,6 +150,13 @@ func fromWire(msg string) error {
 // --- server ------------------------------------------------------------------
 
 func (s *Server) handle(req *mach.Message) *mach.Message {
+	if st := kstat.For(s.k.CPU); st != nil {
+		st.Counter("registry.ops").Inc()
+		base := s.k.CPU.Counters()
+		defer func() {
+			st.Histogram("registry.latency_cycles").Observe(s.k.CPU.Counters().Sub(base).Cycles)
+		}()
+	}
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case msgSet:

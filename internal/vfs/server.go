@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/mach"
 )
@@ -225,12 +226,29 @@ func fsOpName(id mach.MsgID) string {
 	}
 }
 
+// obsOp opens the kstat observation of one file-server operation; the
+// returned func records the op count and a cycles-latency sample when
+// called (a no-op with kstat detached).  Reads only, nothing charged.
+func (s *Server) obsOp(op string) func() {
+	st := kstat.For(s.k.CPU)
+	if st == nil {
+		return func() {}
+	}
+	base := s.k.CPU.Counters()
+	return func() {
+		d := s.k.CPU.Counters().Sub(base)
+		st.Counter("vfs.ops." + op).Inc()
+		st.Histogram("vfs.latency_cycles").Observe(d.Cycles)
+	}
+}
+
 func (s *Server) handleControl(req *mach.Message) *mach.Message {
 	var sp ktrace.Span
 	if t := ktrace.For(s.k.CPU); t != nil {
 		sp = t.Begin(ktrace.EvFSOp, "vfs", fsOpName(req.ID), ktrace.SpanContext{})
 	}
 	defer sp.End()
+	defer s.obsOp(fsOpName(req.ID))()
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case MsgOpen:
@@ -363,6 +381,7 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 		sp = t.Begin(ktrace.EvFSOp, "vfs", fsOpName(req.ID), ktrace.SpanContext{})
 	}
 	defer sp.End()
+	defer s.obsOp(fsOpName(req.ID))()
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case MsgRead:

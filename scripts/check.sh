@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-2 gate: static analysis plus race-detector runs of the packages with
 # real concurrency (the tracer's ring is hammered by concurrent emitters;
-# mach runs server pools and bound threads; vfs and os2 serve pooled
-# multi-threaded RPC with shared bookkeeping hammered by their pool tests).
+# kstat's sharded counters and histograms are recorded from every server
+# thread at once; mach runs server pools and bound threads; vfs and os2
+# serve pooled multi-threaded RPC with shared bookkeeping hammered by their
+# pool tests; the monitor serves pooled snapshot queries over that RPC).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -10,4 +12,4 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/ktrace/... ./internal/mach/... ./internal/vfs/... ./internal/os2/...
+go test -race ./internal/kstat/... ./internal/ktrace/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/...
