@@ -10,6 +10,8 @@
 //	benchtables -only ipc  # the IPC rework sweep
 //	benchtables -only fig1 # the architecture figure
 //	benchtables -only extras  # E5-E10 ablations
+//	benchtables -only cache   # E-CACHE: buffer-cache size sweep
+//	benchtables -cache 1024   # Table 1 with a 1024-sector buffer cache
 //	benchtables -json results.json  # also write machine-readable records
 //	benchtables -stats stats.json   # per-workload kstat metrics appendix
 package main
@@ -42,7 +44,8 @@ func emit(table, name, metric string, measured, paper float64) {
 }
 
 func main() {
-	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras (default all)")
+	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras, cache (default all but cache)")
+	cache := flag.Int("cache", 0, "file-server buffer cache size in sectors for Table 1 (0 = off, the paper's configuration)")
 	jsonPath := flag.String("json", "", "also write the regenerated numbers as JSON records to this path")
 	statsPath := flag.String("stats", "", "write the per-workload kstat metrics appendix as JSON to this path")
 	flag.Parse()
@@ -51,7 +54,7 @@ func main() {
 		figure1()
 	}
 	if run("1") {
-		table1()
+		table1(*cache)
 	}
 	if run("2") {
 		table2()
@@ -61,6 +64,9 @@ func main() {
 	}
 	if run("extras") {
 		extras()
+	}
+	if *only == "cache" {
+		cacheSweep()
 	}
 	if *jsonPath != "" {
 		writeJSON(*jsonPath)
@@ -143,13 +149,17 @@ func figure1() {
 	fmt.Println()
 }
 
-func table1() {
-	rows, err := bench.Table1()
+func table1(cacheSectors int) {
+	rows, err := bench.Table1Cache(cacheSectors)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println("Table 1: OS/2 Performance Comparisons")
-	fmt.Println("(WPOS OS/2 on 64 MB multi-server stack vs native OS/2 on 16 MB monolithic kernel)")
+	if cacheSectors > 0 {
+		fmt.Printf("(WPOS OS/2 with a %d-sector unified buffer cache vs native OS/2 on 16 MB monolithic kernel)\n", cacheSectors)
+	} else {
+		fmt.Println("(WPOS OS/2 on 64 MB multi-server stack vs native OS/2 on 16 MB monolithic kernel)")
+	}
 	fmt.Println()
 	fmt.Printf("%-19s %-24s %12s %14s %8s %8s\n",
 		"Test", "Application Content", "WPOS cycles", "native cycles", "ratio", "paper")
@@ -197,6 +207,24 @@ func table2() {
 	emit("table2", "rpc_32byte", "cpi", t.RPCCPI, pp.RPCCPI)
 	fmt.Println()
 	fmt.Println(bench.TrapVsRPCNote(t))
+	fmt.Println()
+}
+
+func cacheSweep() {
+	sizes := []int{0, 64, 256, 1024, 4096}
+	pts, err := bench.CacheSweep(sizes)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("E-CACHE: unified buffer cache, file-intensive Table 1 ratios by cache size")
+	fmt.Println("(0 sectors = the seed's direct-to-driver path; native baseline is never cached)")
+	fmt.Println()
+	fmt.Printf("%14s %18s %18s\n", "cache sectors", "File Intensive 1", "File Intensive 2")
+	for _, p := range pts {
+		fmt.Printf("%14d %18.2f %18.2f\n", p.Sectors, p.FI1, p.FI2)
+		emit("ecache", fmt.Sprintf("%d sectors", p.Sectors), "fi1_ratio", p.FI1, 0)
+		emit("ecache", fmt.Sprintf("%d sectors", p.Sectors), "fi2_ratio", p.FI2, 0)
+	}
 	fmt.Println()
 }
 

@@ -46,6 +46,7 @@ func main() {
 		mem      = flag.Int("mem", 64, "installed memory in MB")
 		simple   = flag.Bool("simple-names", false, "also start the Release 2 simplified name service")
 		pool     = flag.Int("pool", 1, "server threads per RPC server")
+		cache    = flag.Int("cache", 0, "file-server buffer cache size in sectors (0 = off)")
 		wl       = flag.String("workload", "file1", "traffic source: file1, file2, gfx-low, gfx-med, gfx-high, pm-med, pm-high, none")
 		format   = flag.String("format", "text", "output: text, json, prom, top")
 		family   = flag.String("family", "", "restrict output to metrics with this name prefix")
@@ -58,6 +59,7 @@ func main() {
 	cfg.MemoryMB = *mem
 	cfg.SimpleNames = *simple
 	cfg.ServerPool = *pool
+	cfg.CacheSectors = *cache
 	switch *driver {
 	case "kernel":
 		cfg.Driver = core.DriverKernel

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N]
+//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N] [-cache SECTORS]
 package main
 
 import (
@@ -23,12 +23,14 @@ func main() {
 	mem := flag.Int("mem", 64, "installed memory in MB")
 	simple := flag.Bool("simple-names", false, "also start the Release 2 simplified name service")
 	pool := flag.Int("pool", 1, "server threads per RPC server (Release 2 multi-threaded servers when > 1)")
+	cache := flag.Int("cache", 0, "file-server buffer cache size in sectors (0 = off, the seed path)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.MemoryMB = *mem
 	cfg.SimpleNames = *simple
 	cfg.ServerPool = *pool
+	cfg.CacheSectors = *cache
 	switch *driver {
 	case "kernel":
 		cfg.Driver = core.DriverKernel

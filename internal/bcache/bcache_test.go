@@ -1,0 +1,277 @@
+package bcache_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/bcache"
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+	"repro/internal/vfs"
+)
+
+const ss = bcache.SectorSize
+
+func newCache(t *testing.T, dev vfs.BlockDev, cfg bcache.Config) (*bcache.Cache, *cpu.Engine) {
+	t.Helper()
+	eng := cpu.NewEngine(cpu.Pentium133())
+	layout := cpu.NewLayout(0x100000)
+	return bcache.New(eng, layout, dev, cfg), eng
+}
+
+func sectorData(b byte) []byte { return bytes.Repeat([]byte{b}, ss) }
+
+func TestReadYourWritesAndWriteBehind(t *testing.T) {
+	disk := vfs.NewRAMDisk(256)
+	c, _ := newCache(t, disk, bcache.Config{CapacitySectors: 64})
+
+	want := sectorData('x')
+	if err := c.WriteSectors(7, want); err != nil {
+		t.Fatalf("WriteSectors: %v", err)
+	}
+	got := make([]byte, ss)
+	if err := c.ReadSectors(7, got); err != nil {
+		t.Fatalf("ReadSectors: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-your-writes violated")
+	}
+	// Write-behind: the device must not have the data yet...
+	raw := make([]byte, ss)
+	if err := disk.ReadSectors(7, raw); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw, want) {
+		t.Fatal("write went straight through; expected write-behind")
+	}
+	// ...until Sync pushes it.
+	if err := c.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := disk.ReadSectors(7, raw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("Sync did not flush the dirty sector")
+	}
+	if d := c.Dirty(); d != 0 {
+		t.Fatalf("dirty after Sync = %d, want 0", d)
+	}
+}
+
+func TestDirtyBoundAndEviction(t *testing.T) {
+	disk := vfs.NewRAMDisk(1024)
+	c, _ := newCache(t, disk, bcache.Config{CapacitySectors: 32, DirtyMax: 8})
+
+	// Far more writes than the dirty bound: write-behind must keep the
+	// dirty list at or under the bound after every call.
+	for i := uint64(0); i < 200; i++ {
+		if err := c.WriteSectors(i, sectorData(byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if d := c.Dirty(); d > 8 {
+			t.Fatalf("dirty list %d exceeds bound 8 after write %d", d, i)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity respected and every sector durable despite evictions.
+	buf := make([]byte, ss)
+	for i := uint64(0); i < 200; i++ {
+		if err := disk.ReadSectors(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorData(byte(i))) {
+			t.Fatalf("sector %d corrupted through eviction/write-behind", i)
+		}
+	}
+}
+
+func TestSequentialReadAhead(t *testing.T) {
+	inner := vfs.NewRAMDisk(256)
+	for i := uint64(0); i < 64; i++ {
+		if err := inner.WriteSectors(i, sectorData(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk := vfs.NewFaultyDev(inner) // injection off: used as an op counter
+	c, eng := newCache(t, disk, bcache.Config{CapacitySectors: 64, ReadAhead: 8})
+	st := kstat.Attach(eng)
+	defer kstat.Detach(eng)
+
+	buf := make([]byte, ss)
+	// First read misses and is not (yet) sequential.
+	if err := c.ReadSectors(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Second read continues the run: miss plus an 8-sector read-ahead.
+	if err := c.ReadSectors(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Counter("bcache.readahead").Value(); got != 8 {
+		t.Fatalf("readahead sectors = %d, want 8", got)
+	}
+	// The prefetched sectors now hit without device traffic.
+	reads0, _, _ := disk.Stats()
+	for i := uint64(2); i < 10; i++ {
+		if err := c.ReadSectors(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorData(byte(i))) {
+			t.Fatalf("sector %d wrong after read-ahead", i)
+		}
+	}
+	if reads1, _, _ := disk.Stats(); reads1 != reads0 {
+		t.Fatalf("device reads went %d -> %d; read-ahead hits must not touch the device", reads0, reads1)
+	}
+	if hits := st.Counter("bcache.hits").Value(); hits < 8 {
+		t.Fatalf("hits = %d, want >= 8", hits)
+	}
+}
+
+func TestReadAheadCountsDeviceReads(t *testing.T) {
+	inner := vfs.NewRAMDisk(256)
+	for i := uint64(0); i < 64; i++ {
+		if err := inner.WriteSectors(i, sectorData(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk := vfs.NewFaultyDev(inner) // injection off: used as an op counter
+	c, _ := newCache(t, disk, bcache.Config{CapacitySectors: 64, ReadAhead: 8})
+	buf := make([]byte, ss)
+	for i := uint64(0); i < 16; i++ {
+		if err := c.ReadSectors(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorData(byte(i))) {
+			t.Fatalf("sector %d wrong", i)
+		}
+	}
+	reads, _, _ := disk.Stats()
+	// 16 sequential single-sector reads with an 8-sector window must need
+	// far fewer device requests than the 16 the uncached path issues.
+	if reads >= 16 {
+		t.Fatalf("device reads = %d; read-ahead failed to batch", reads)
+	}
+}
+
+func TestFaultyFlushPropagatesAndRetries(t *testing.T) {
+	disk := vfs.NewFaultyDev(vfs.NewRAMDisk(256))
+	c, _ := newCache(t, disk, bcache.Config{CapacitySectors: 32})
+
+	want := sectorData('z')
+	if err := c.WriteSectors(3, want); err != nil {
+		t.Fatalf("cached write must succeed before the fault trips: %v", err)
+	}
+	disk.FailAfter(0, false, true) // every write now fails
+
+	// The flush must surface the injected error, not swallow it.
+	if err := c.Sync(); !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("Sync = %v, want ErrIO", err)
+	}
+	// The block stays dirty for retry.
+	if d := c.Dirty(); d != 1 {
+		t.Fatalf("dirty after failed flush = %d, want 1", d)
+	}
+	// And the cache still serves the new data.
+	got := make([]byte, ss)
+	if err := c.ReadSectors(3, got); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("cache lost data on failed flush: %v", err)
+	}
+
+	disk.Heal()
+	if err := c.Sync(); err != nil {
+		t.Fatalf("Sync after Heal: %v", err)
+	}
+	if d := c.Dirty(); d != 0 {
+		t.Fatalf("dirty after healed flush = %d, want 0", d)
+	}
+	raw := make([]byte, ss)
+	if err := disk.ReadSectors(3, raw); err != nil || !bytes.Equal(raw, want) {
+		t.Fatal("healed flush did not write the retried block")
+	}
+}
+
+func TestMixedWorkloadMatchesReference(t *testing.T) {
+	const sectors = 512
+	cached := vfs.NewRAMDisk(sectors)
+	mirror := vfs.NewRAMDisk(sectors)
+	c, _ := newCache(t, cached, bcache.Config{CapacitySectors: 24, DirtyMax: 4, ReadAhead: 4})
+
+	// Deterministic mixed read/write pattern: strided writes, sequential
+	// scans, overwrites, multi-sector ops.
+	x := uint64(12345)
+	next := func(mod uint64) uint64 { x = x*6364136223846793005 + 1442695040888963407; return (x >> 33) % mod }
+	for i := 0; i < 2000; i++ {
+		s := next(sectors - 4)
+		n := 1 + int(next(4))
+		data := bytes.Repeat([]byte{byte(next(256))}, n*ss)
+		if next(3) == 0 {
+			if err := c.WriteSectors(s, data); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+			if err := mirror.WriteSectors(s, data); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			a := make([]byte, n*ss)
+			b := make([]byte, n*ss)
+			if err := c.ReadSectors(s, a); err != nil {
+				t.Fatalf("op %d read: %v", i, err)
+			}
+			if err := mirror.ReadSectors(s, b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("op %d: cached read diverged from reference at sector %d", i, s)
+			}
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]byte, ss)
+	b := make([]byte, ss)
+	for s := uint64(0); s < sectors; s++ {
+		if err := cached.ReadSectors(s, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := mirror.ReadSectors(s, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("post-Sync device divergence at sector %d", s)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	disk := vfs.NewRAMDisk(256)
+	c, eng := newCache(t, disk, bcache.Config{CapacitySectors: 32})
+	st := kstat.Attach(eng)
+	defer kstat.Detach(eng)
+
+	buf := sectorData('m')
+	if err := c.WriteSectors(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadSectors(1, buf); err != nil { // hit
+		t.Fatal(err)
+	}
+	if err := c.ReadSectors(9, buf); err != nil { // miss
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"bcache.hits", "bcache.misses", "bcache.writeback"} {
+		if st.Counter(name).Value() == 0 {
+			t.Errorf("counter %s never incremented", name)
+		}
+	}
+	if g := st.Gauge("bcache.dirty").Value(); g != 0 {
+		t.Errorf("bcache.dirty = %d after Sync, want 0", g)
+	}
+}

@@ -47,9 +47,48 @@ var paperTable1 = map[workload.Row]float64{
 // Table1 reruns the OS/2 comparison suite: WPOS OS/2 (64 MB, multi-server,
 // user-level driver) against native OS/2 (16 MB, monolithic).
 func Table1() ([]Table1Row, error) {
+	return table1Rows(core.DefaultConfig(), workload.Rows)
+}
+
+// Table1Cache reruns Table 1 with the file server's unified buffer cache
+// sized to cacheSectors (0 = off, the seed's direct-to-driver path).
+// The native baseline is never cached: it is the yardstick the paper
+// measured against.
+func Table1Cache(cacheSectors int) ([]Table1Row, error) {
+	cfg := core.DefaultConfig()
+	cfg.CacheSectors = cacheSectors
+	return table1Rows(cfg, workload.Rows)
+}
+
+// CacheSweepPoint is one cache size of experiment E-CACHE: the two
+// file-intensive Table 1 ratios with the buffer cache at Sectors.
+type CacheSweepPoint struct {
+	Sectors  int
+	FI1, FI2 float64
+}
+
+// CacheSweep measures the file-intensive rows at each cache size — the
+// E-CACHE curve showing the WPOS/native ratio moving toward the native
+// line as the cache absorbs driver crossings.
+func CacheSweep(sizes []int) ([]CacheSweepPoint, error) {
+	fiRows := []workload.Row{workload.FileIntensive1, workload.FileIntensive2}
+	var out []CacheSweepPoint
+	for _, n := range sizes {
+		cfg := core.DefaultConfig()
+		cfg.CacheSectors = n
+		rows, err := table1Rows(cfg, fiRows)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CacheSweepPoint{Sectors: n, FI1: rows[0].Ratio, FI2: rows[1].Ratio})
+	}
+	return out, nil
+}
+
+func table1Rows(cfg core.Config, rows []workload.Row) ([]Table1Row, error) {
 	var out []Table1Row
-	for _, row := range workload.Rows {
-		w, err := core.Boot(core.DefaultConfig())
+	for _, row := range rows {
+		w, err := core.Boot(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -137,13 +176,13 @@ func Table2() (Table2Result, error) {
 	const warm, N = 50, 400
 	body := make([]byte, 32)
 	for i := 0; i < warm; i++ {
-		if _, err := th.RPC(sendName, &mach.Message{Body: body}); err != nil {
+		if _, err := th.Call(sendName, &mach.Message{Body: body}, mach.CallOpts{}); err != nil {
 			return Table2Result{}, err
 		}
 	}
 	base := k.CPU.Counters()
 	for i := 0; i < N; i++ {
-		th.RPC(sendName, &mach.Message{Body: body})
+		th.Call(sendName, &mach.Message{Body: body}, mach.CallOpts{})
 	}
 	rpc := k.CPU.Counters().Sub(base)
 
@@ -236,7 +275,7 @@ func rpcCost(size int, classic bool) (uint64, error) {
 			_, err := th.MachRPC(sendName, mk(), replyName)
 			return err
 		}
-		_, err := th.RPC(sendName, mk())
+		_, err := th.Call(sendName, mk(), mach.CallOpts{})
 		return err
 	}
 	const warm, N = 30, 150

@@ -55,14 +55,14 @@ func CounterTable2() (CounterTable2Result, error) {
 	const warm, N = 50, 400
 	body := make([]byte, 32)
 	for i := 0; i < warm; i++ {
-		if _, err := th.RPC(sendName, &mach.Message{Body: body}); err != nil {
+		if _, err := th.Call(sendName, &mach.Message{Body: body}, mach.CallOpts{}); err != nil {
 			return CounterTable2Result{}, err
 		}
 	}
 	markRPC := st.Snapshot()
 	base := k.CPU.Counters()
 	for i := 0; i < N; i++ {
-		th.RPC(sendName, &mach.Message{Body: body})
+		th.Call(sendName, &mach.Message{Body: body}, mach.CallOpts{})
 	}
 	rpc := k.CPU.Counters().Sub(base)
 	rpcDelta := st.Snapshot().Delta(markRPC)

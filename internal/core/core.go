@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bcache"
 	"repro/internal/cpu"
 	"repro/internal/drivers"
 	"repro/internal/fat"
@@ -49,32 +50,60 @@ const (
 	DriverOODDM  DriverModel = "ooddm"
 )
 
-// Config parameterizes a boot.
-type Config struct {
-	CPU         cpu.Config
-	MemoryMB    int
+// IOConfig groups the I/O-path knobs: the boot disk, the driver model
+// sitting under the file server, and the file server's buffer cache.
+type IOConfig struct {
 	DiskSectors uint64
 	Driver      DriverModel
-	// SimpleNames selects the Release 2 embedded name service.
-	SimpleNames bool
-	// Personalities to start: "os2", "posix", "mvm" (default all).
-	Personalities []string
-	// ObjectMode selects the networking framework style.
-	ObjectMode netsvc.Mode
+	// CacheSectors sizes the file server's unified buffer cache in
+	// 512-byte sectors.  0 (the default) disables the cache entirely:
+	// every file operation crosses to the block driver exactly as in the
+	// seed reproduction.
+	CacheSectors int
+	// CacheReadAhead is the sequential read-ahead window in sectors
+	// (0 = bcache default, negative disables read-ahead).
+	CacheReadAhead int
+	// CacheDirtyMax bounds the write-behind list (0 = bcache default).
+	CacheDirtyMax int
+}
+
+// ServerConfig groups the multi-server structure knobs.
+type ServerConfig struct {
 	// ServerPool is the number of server threads each multi-threaded
 	// server (file server, OS/2 personality, registry, user-level block
 	// driver) runs per receive right.  0 or 1 keeps the classic
 	// single-threaded loops of the seed reproduction.
 	ServerPool int
+	// SimpleNames selects the Release 2 embedded name service.
+	SimpleNames bool
 }
+
+// Config parameterizes a boot.  The I/O and server knobs live in
+// embedded sub-configs; field promotion keeps flat access
+// (cfg.DiskSectors, cfg.ServerPool, ...) working for existing callers.
+type Config struct {
+	CPU      cpu.Config
+	MemoryMB int
+	IOConfig
+	ServerConfig
+	// Personalities to start: "os2", "posix", "mvm" (default all).
+	Personalities []string
+	// ObjectMode selects the networking framework style.
+	ObjectMode netsvc.Mode
+}
+
+// IO returns the I/O sub-config (compatibility accessor).
+func (c *Config) IO() *IOConfig { return &c.IOConfig }
+
+// Servers returns the server sub-config (compatibility accessor).
+func (c *Config) Servers() *ServerConfig { return &c.ServerConfig }
 
 // DefaultConfig returns the configuration of the paper's PowerPC machine.
 func DefaultConfig() Config {
 	return Config{
 		CPU:           cpu.Pentium133(),
 		MemoryMB:      64,
-		DiskSectors:   16384,
-		Driver:        DriverUser,
+		IOConfig:      IOConfig{DiskSectors: 16384, Driver: DriverUser},
 		Personalities: []string{"os2", "posix", "mvm", "talos"},
 		ObjectMode:    netsvc.FineGrained,
 	}
@@ -216,43 +245,50 @@ func Boot(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Unified buffer cache: when configured, every device-backed volume
+	// mounted below gets a write-behind sector cache interposed inside
+	// the file-server task, so hot file operations stop crossing into the
+	// block driver.  CacheSectors == 0 installs nothing — the seed's
+	// direct-to-driver path, cycle for cycle.
+	if cfg.CacheSectors > 0 {
+		hrm := s.HRM
+		s.Files.SetDevCache(func(dev vfs.BlockDev) vfs.CachedDev {
+			return bcache.New(s.Kernel.CPU, layout, dev, bcache.Config{
+				CapacitySectors: cfg.CacheSectors,
+				DirtyMax:        cfg.CacheDirtyMax,
+				ReadAhead:       cfg.CacheReadAhead,
+				HRM:             hrm,
+			})
+		})
+	}
 	// FAT boot volume over the real block driver (every file op crosses
-	// into the driver); HPFS and JFS volumes on secondary RAM disks.
-	bootDev := &driverDev{drv: s.Block, sectors: cfg.DiskSectors}
-	if bootDev.th, err = s.Files.Task().NewBoundThread("diskio"); err != nil {
-		return nil, err
-	}
-	if err := fat.Format(bootDev); err != nil {
-		return nil, err
-	}
-	fatFS, err := fat.Mount(bootDev)
+	// into the driver unless cached); HPFS and JFS volumes on secondary
+	// RAM disks.  All three attach through the redesigned MountVolume
+	// call, which threads the device through the cache.
+	diskTh, err := s.Files.Task().NewBoundThread("diskio")
 	if err != nil {
 		return nil, err
 	}
+	bootDev := drivers.NewSectorDev(s.Block, diskTh, cfg.DiskSectors)
+	if err := fat.Format(bootDev); err != nil {
+		return nil, err
+	}
 	s.FATDisk = bootDev
-	if err := s.Files.Mount("/", fatFS); err != nil {
+	if err := s.Files.MountVolume("/", fat.New(), bootDev); err != nil {
 		return nil, err
 	}
 	hdev := vfs.NewRAMDisk(8192)
 	if err := hpfs.Format(hdev); err != nil {
 		return nil, err
 	}
-	hfs, err := hpfs.Mount(hdev)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.Files.Mount("/hpfs", hfs); err != nil {
+	if err := s.Files.MountVolume("/hpfs", hpfs.New(), hdev); err != nil {
 		return nil, err
 	}
 	jdev := vfs.NewRAMDisk(8192)
 	if err := jfs.Format(jdev); err != nil {
 		return nil, err
 	}
-	jvol, err := jfs.Mount(jdev)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.Files.Mount("/jfs", jvol); err != nil {
+	if err := s.Files.MountVolume("/jfs", jfs.New(), jdev); err != nil {
 		return nil, err
 	}
 	s.Net, err = netsvc.NewStack(s.Kernel.CPU, layout, s.NICs[0], "wpos", cfg.ObjectMode)
@@ -339,29 +375,6 @@ func Boot(cfg Config) (*System, error) {
 	log("monitor: kstat fabric exported at /servers/monitor")
 	return s, nil
 }
-
-// driverDev adapts a BlockDriver (which needs a calling thread) to the
-// vfs.BlockDev interface used by the physical file systems.
-type driverDev struct {
-	drv     drivers.BlockDriver
-	th      *mach.Thread
-	sectors uint64
-}
-
-func (d *driverDev) ReadSectors(sector uint64, buf []byte) error {
-	b, err := d.drv.ReadSectors(d.th, sector, len(buf)/drivers.SectorSize)
-	if err != nil {
-		return err
-	}
-	copy(buf, b)
-	return nil
-}
-
-func (d *driverDev) WriteSectors(sector uint64, data []byte) error {
-	return d.drv.WriteSectors(d.th, sector, data)
-}
-
-func (d *driverDev) Sectors() uint64 { return d.sectors }
 
 // BootLog returns the boot transcript.
 func (s *System) BootLog() []string {

@@ -45,7 +45,7 @@ func BootNative(cfg cpu.Config, memoryMB int, diskSectors uint64) (*NativeSystem
 	fb := drivers.NewFramebuffer(k.CPU, 0xA0000, 640, 480)
 	sys := mono.New(k, uint64(memoryMB)<<20, fb)
 
-	dev := &driverDev{drv: drv, sectors: diskSectors}
+	dev := drivers.NewSectorDev(drv, nil, diskSectors)
 	if err := fat.Format(dev); err != nil {
 		return nil, err
 	}

@@ -205,7 +205,7 @@ func (d *UserBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count 
 	body := make([]byte, 16)
 	putU64(body[0:8], sector)
 	putU64(body[8:16], uint64(count))
-	reply, err := caller.RPC(n, &mach.Message{ID: msgRead, Body: body})
+	reply, err := caller.Call(n, &mach.Message{ID: msgRead, Body: body}, mach.CallOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +225,7 @@ func (d *UserBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data 
 	}
 	body := make([]byte, 16)
 	putU64(body[0:8], sector)
-	reply, err := caller.RPC(n, &mach.Message{ID: msgWrite, Body: body, OOL: data})
+	reply, err := caller.Call(n, &mach.Message{ID: msgWrite, Body: body, OOL: data}, mach.CallOpts{})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,36 @@
+package drivers
+
+import "repro/internal/mach"
+
+// SectorDev adapts a BlockDriver (whose operations need a calling
+// thread) to the thread-less sector-device interface the file systems
+// and the buffer cache consume (vfs.BlockDev, satisfied structurally so
+// drivers does not depend on vfs).
+type SectorDev struct {
+	drv     BlockDriver
+	th      *mach.Thread
+	sectors uint64
+}
+
+// NewSectorDev binds a driver to a calling thread and a disk size.
+func NewSectorDev(drv BlockDriver, th *mach.Thread, sectors uint64) *SectorDev {
+	return &SectorDev{drv: drv, th: th, sectors: sectors}
+}
+
+// ReadSectors reads len(buf)/SectorSize sectors starting at sector.
+func (d *SectorDev) ReadSectors(sector uint64, buf []byte) error {
+	b, err := d.drv.ReadSectors(d.th, sector, len(buf)/SectorSize)
+	if err != nil {
+		return err
+	}
+	copy(buf, b)
+	return nil
+}
+
+// WriteSectors writes data (whole sectors) starting at sector.
+func (d *SectorDev) WriteSectors(sector uint64, data []byte) error {
+	return d.drv.WriteSectors(d.th, sector, data)
+}
+
+// Sectors returns the device size.
+func (d *SectorDev) Sectors() uint64 { return d.sectors }

@@ -89,38 +89,71 @@ type FS struct {
 	fat []uint16 // cached allocation table, written through
 }
 
-// Mount opens a formatted device.
+// New returns an unmounted FAT volume for the redesigned mount API;
+// attach it with Mount.
+func New() *FS { return &FS{} }
+
+// Mount opens a formatted device (compatibility wrapper over New and
+// Filesystem.Mount).
 func Mount(dev vfs.BlockDev) (*FS, error) {
-	boot := make([]byte, sectorSize)
-	if err := dev.ReadSectors(0, boot); err != nil {
+	fs := New()
+	if err := fs.Mount(dev); err != nil {
 		return nil, err
 	}
+	return fs, nil
+}
+
+// Mount implements vfs.Filesystem: read the boot sector and load the
+// allocation table.
+func (fs *FS) Mount(dev vfs.BlockDev) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dev != nil && fs.dev != vfs.DeadDev {
+		return vfs.ErrMountBusy
+	}
+	boot := make([]byte, sectorSize)
+	if err := dev.ReadSectors(0, boot); err != nil {
+		return err
+	}
 	if binary.LittleEndian.Uint32(boot[0:4]) != fatMagic {
-		return nil, ErrNotFormatted
+		return ErrNotFormatted
 	}
-	fs := &FS{
-		dev:       dev,
-		fatStart:  uint64(binary.LittleEndian.Uint32(boot[4:8])),
-		fatSecs:   uint64(binary.LittleEndian.Uint32(boot[8:12])),
-		rootStart: uint64(binary.LittleEndian.Uint32(boot[12:16])),
-		dataStart: uint64(binary.LittleEndian.Uint32(boot[16:20])),
-		clusters:  uint64(binary.LittleEndian.Uint32(boot[20:24])),
-	}
+	fs.fatStart = uint64(binary.LittleEndian.Uint32(boot[4:8]))
+	fs.fatSecs = uint64(binary.LittleEndian.Uint32(boot[8:12]))
+	fs.rootStart = uint64(binary.LittleEndian.Uint32(boot[12:16]))
+	fs.dataStart = uint64(binary.LittleEndian.Uint32(boot[16:20]))
+	fs.clusters = uint64(binary.LittleEndian.Uint32(boot[20:24]))
 	// Load the FAT.
 	raw := make([]byte, fs.fatSecs*sectorSize)
 	for s := uint64(0); s < fs.fatSecs; s++ {
 		if err := dev.ReadSectors(fs.fatStart+s, raw[s*sectorSize:(s+1)*sectorSize]); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	fs.fat = make([]uint16, fs.clusters)
 	for i := range fs.fat {
 		fs.fat[i] = binary.LittleEndian.Uint16(raw[i*2 : i*2+2])
 	}
-	return fs, nil
+	fs.dev = dev
+	return nil
 }
 
-var _ vfs.FileSystem = (*FS)(nil)
+// Unmount implements vfs.Filesystem (the FAT is written through, so
+// there is nothing to flush).
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dev == nil {
+		return vfs.ErrNotMounted
+	}
+	fs.dev = vfs.DeadDev
+	return nil
+}
+
+// Capabilities implements vfs.Filesystem.
+func (fs *FS) Capabilities() vfs.Capabilities { return fs.Caps() }
+
+var _ vfs.Filesystem = (*FS)(nil)
 
 // Root implements vfs.FileSystem.
 func (fs *FS) Root() vfs.Vnode {

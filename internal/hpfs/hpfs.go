@@ -88,26 +88,59 @@ type FS struct {
 	total       uint64
 }
 
-// Mount opens a formatted volume.
+// New returns an unmounted HPFS volume for the redesigned mount API;
+// attach it with Mount.
+func New() *FS { return &FS{} }
+
+// Mount opens a formatted volume (compatibility wrapper over New and
+// Filesystem.Mount).
 func Mount(dev vfs.BlockDev) (*FS, error) {
-	sb := make([]byte, sectorSize)
-	if err := dev.ReadSectors(0, sb); err != nil {
+	fs := New()
+	if err := fs.Mount(dev); err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint32(sb[0:4]) != magic {
-		return nil, ErrNotFormatted
-	}
-	return &FS{
-		dev:         dev,
-		fnodeStart:  uint64(binary.LittleEndian.Uint32(sb[4:8])),
-		fnodeCount:  uint64(binary.LittleEndian.Uint32(sb[8:12])),
-		bitmapStart: uint64(binary.LittleEndian.Uint32(sb[12:16])),
-		dataStart:   uint64(binary.LittleEndian.Uint32(sb[20:24])),
-		total:       dev.Sectors(),
-	}, nil
+	return fs, nil
 }
 
-var _ vfs.FileSystem = (*FS)(nil)
+// Mount implements vfs.Filesystem: read the superblock.
+func (fs *FS) Mount(dev vfs.BlockDev) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dev != nil && fs.dev != vfs.DeadDev {
+		return vfs.ErrMountBusy
+	}
+	sb := make([]byte, sectorSize)
+	if err := dev.ReadSectors(0, sb); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(sb[0:4]) != magic {
+		return ErrNotFormatted
+	}
+	fs.fnodeStart = uint64(binary.LittleEndian.Uint32(sb[4:8]))
+	fs.fnodeCount = uint64(binary.LittleEndian.Uint32(sb[8:12]))
+	fs.bitmapStart = uint64(binary.LittleEndian.Uint32(sb[12:16]))
+	fs.dataStart = uint64(binary.LittleEndian.Uint32(sb[20:24]))
+	fs.total = dev.Sectors()
+	fs.dev = dev
+	return nil
+}
+
+// Unmount implements vfs.Filesystem (writes are synchronous, nothing to
+// flush).
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dev == nil {
+		return vfs.ErrNotMounted
+	}
+	fs.dev = vfs.DeadDev
+	return nil
+}
+
+// Capabilities implements vfs.Filesystem.
+func (fs *FS) Capabilities() vfs.Capabilities { return fs.Caps() }
+
+var _ vfs.Filesystem = (*FS)(nil)
 
 // Root implements vfs.FileSystem.
 func (fs *FS) Root() vfs.Vnode { return &node{fs: fs, idx: 0} }

@@ -99,33 +99,65 @@ type FS struct {
 	FailAfterCommit bool
 }
 
-// Mount opens a volume, replaying any committed journal first.
+// New returns an unmounted JFS volume for the redesigned mount API;
+// attach it with Mount.
+func New() *FS { return &FS{} }
+
+// Mount opens a volume, replaying any committed journal first
+// (compatibility wrapper over New and Filesystem.Mount).
 func Mount(dev vfs.BlockDev) (*FS, error) {
-	sb := make([]byte, sectorSize)
-	if err := dev.ReadSectors(0, sb); err != nil {
-		return nil, err
-	}
-	if binary.LittleEndian.Uint32(sb[0:4]) != magic {
-		return nil, ErrNotFormatted
-	}
-	fs := &FS{
-		dev:          dev,
-		inodeStart:   uint64(binary.LittleEndian.Uint32(sb[4:8])),
-		inodeCount:   uint64(binary.LittleEndian.Uint32(sb[8:12])),
-		journalStart: uint64(binary.LittleEndian.Uint32(sb[12:16])),
-		journalSecs:  uint64(binary.LittleEndian.Uint32(sb[16:20])),
-		bitmapStart:  uint64(binary.LittleEndian.Uint32(sb[20:24])),
-		dataStart:    uint64(binary.LittleEndian.Uint32(sb[24:28])),
-		total:        dev.Sectors(),
-		pending:      make(map[uint64][]byte),
-	}
-	if err := fs.replay(); err != nil {
+	fs := New()
+	if err := fs.Mount(dev); err != nil {
 		return nil, err
 	}
 	return fs, nil
 }
 
-var _ vfs.FileSystem = (*FS)(nil)
+// Mount implements vfs.Filesystem: read the superblock and replay any
+// committed journal.
+func (fs *FS) Mount(dev vfs.BlockDev) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dev != nil && fs.dev != vfs.DeadDev {
+		return vfs.ErrMountBusy
+	}
+	sb := make([]byte, sectorSize)
+	if err := dev.ReadSectors(0, sb); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(sb[0:4]) != magic {
+		return ErrNotFormatted
+	}
+	fs.inodeStart = uint64(binary.LittleEndian.Uint32(sb[4:8]))
+	fs.inodeCount = uint64(binary.LittleEndian.Uint32(sb[8:12]))
+	fs.journalStart = uint64(binary.LittleEndian.Uint32(sb[12:16]))
+	fs.journalSecs = uint64(binary.LittleEndian.Uint32(sb[16:20]))
+	fs.bitmapStart = uint64(binary.LittleEndian.Uint32(sb[20:24]))
+	fs.dataStart = uint64(binary.LittleEndian.Uint32(sb[24:28]))
+	fs.total = dev.Sectors()
+	fs.pending = make(map[uint64][]byte)
+	fs.dev = dev
+	return fs.replay()
+}
+
+// Unmount implements vfs.Filesystem: commit the journal, then detach.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dev == nil {
+		return vfs.ErrNotMounted
+	}
+	if err := fs.syncLocked(); err != nil {
+		return err
+	}
+	fs.dev = vfs.DeadDev
+	return nil
+}
+
+// Capabilities implements vfs.Filesystem.
+func (fs *FS) Capabilities() vfs.Capabilities { return fs.Caps() }
+
+var _ vfs.Filesystem = (*FS)(nil)
 
 // Root implements vfs.FileSystem.
 func (fs *FS) Root() vfs.Vnode { return &node{fs: fs, idx: 0} }

@@ -64,6 +64,9 @@ const (
 	EvTask
 	// EvAPI is a personality API entry (e.g. DosOpen).
 	EvAPI
+	// EvCache is a file-server buffer-cache operation (hit, miss,
+	// read-ahead fill or write-back).
+	EvCache
 )
 
 var eventNames = [...]string{
@@ -71,7 +74,7 @@ var eventNames = [...]string{
 	EvIPCRecv: "ipc_recv", EvVMFault: "vm_fault", EvPageIn: "page_in",
 	EvPageOut: "page_out", EvASSwitch: "as_switch", EvDriverIO: "driver_io",
 	EvInterrupt: "interrupt", EvNameLookup: "name_lookup", EvFSOp: "fs_op",
-	EvNetOp: "net_op", EvTask: "task", EvAPI: "api",
+	EvNetOp: "net_op", EvTask: "task", EvAPI: "api", EvCache: "cache",
 }
 
 func (t EventType) String() string {

@@ -37,24 +37,44 @@ type Responder struct {
 	done bool
 }
 
-// RPC performs a synchronous remote procedure call: it blocks until a
+// CallOpts parameterizes one Call.  The zero value means "plain
+// synchronous call, wait forever" — what RPC always did.  The struct
+// leaves room for future per-call policy (retry, priority inheritance)
+// without growing another method per knob.
+type CallOpts struct {
+	// Timeout bounds the call end to end; 0 means no deadline.  The
+	// deadline is wired into the rendezvous and reply waits directly:
+	// expiry during rendezvous means the exchange was never handed over,
+	// and expiry while the server holds the exchange abandons it — a
+	// later Reply finds the abandoned state and discards the reply
+	// instead of resurrecting the call.
+	Timeout time.Duration
+}
+
+// Call performs a synchronous remote procedure call: it blocks until a
 // server thread is waiting in RPCReceive on the destination port, hands
 // the request over with a single physical copy, and blocks until the reply
-// arrives.  There is no reply port and no queuing.
-func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
+// arrives.  There is no reply port and no queuing.  Call is the single
+// client entry point; RPC and RPCWithTimeout are wrappers kept for
+// compatibility.
+func (th *Thread) Call(dest PortName, req *Message, opts CallOpts) (*Message, error) {
+	if opts.Timeout > 0 {
+		timer := time.NewTimer(opts.Timeout)
+		defer timer.Stop()
+		return th.rpcCall(dest, req, timer.C)
+	}
 	return th.rpcCall(dest, req, nil)
 }
 
-// RPCWithTimeout is RPC with a deadline; the paper's RPC kept a timeout
-// option for device and network servers.  The deadline is wired into the
-// rendezvous and reply waits directly: expiry during rendezvous means the
-// exchange was never handed over, and expiry while the server holds the
-// exchange abandons it — a later Reply finds the abandoned state and
-// discards the reply instead of resurrecting the call.
+// RPC is Call with the zero options (no deadline).
+func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
+	return th.Call(dest, req, CallOpts{})
+}
+
+// RPCWithTimeout is Call with a deadline; the paper's RPC kept a timeout
+// option for device and network servers.
 func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (*Message, error) {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	return th.rpcCall(dest, req, timer.C)
+	return th.Call(dest, req, CallOpts{Timeout: d})
 }
 
 // rpcCall wraps the shared client path with the kstat RPC families.  The

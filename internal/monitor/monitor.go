@@ -183,7 +183,7 @@ func Connect(th *mach.Thread, srv *mach.Task, port mach.PortName) (*Client, erro
 }
 
 func (c *Client) call(id mach.MsgID, body []byte) (uint64, kstat.Snapshot, error) {
-	reply, err := c.th.RPC(c.port, &mach.Message{ID: id, Body: body})
+	reply, err := c.th.Call(c.port, &mach.Message{ID: id, Body: body}, mach.CallOpts{})
 	if err != nil {
 		return 0, kstat.Snapshot{}, err
 	}

@@ -335,7 +335,7 @@ func (p *Process) traceAPI(name string) ktrace.Span {
 
 // rpc sends a request to the personality server.
 func (p *Process) rpc(id mach.MsgID, body, ool []byte) (*mach.Message, Error) {
-	reply, err := p.th.RPC(p.srvPort, &mach.Message{ID: id, Body: body, OOL: ool})
+	reply, err := p.th.Call(p.srvPort, &mach.Message{ID: id, Body: body, OOL: ool}, mach.CallOpts{})
 	if err != nil {
 		return nil, ErrInvalidHandle
 	}

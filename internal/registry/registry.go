@@ -386,7 +386,7 @@ func (s *Server) NewClient(th *mach.Thread) (*Client, error) {
 }
 
 func (c *Client) call(id mach.MsgID, body []byte) (*mach.Message, error) {
-	reply, err := c.th.RPC(c.port, &mach.Message{ID: id, Body: body})
+	reply, err := c.th.Call(c.port, &mach.Message{ID: id, Body: body}, mach.CallOpts{})
 	if err != nil {
 		return nil, err
 	}

@@ -329,6 +329,16 @@ func (d *Dispatcher) Stat(path string) (Attr, error) {
 	return v.Attr()
 }
 
+// FileFS reports which mounted file system an open file belongs to, so
+// the server can flush that volume's cache on close.
+func (d *Dispatcher) FileFS(fd uint32) (FileSystem, error) {
+	of, err := d.open(fd)
+	if err != nil {
+		return nil, err
+	}
+	return of.fs, nil
+}
+
 // FStat returns an open file's attributes.
 func (d *Dispatcher) FStat(fd uint32) (Attr, error) {
 	of, err := d.open(fd)

@@ -48,7 +48,19 @@ func (m *MemFS) Caps() Capabilities {
 // Sync implements FileSystem.
 func (m *MemFS) Sync() error { return nil }
 
+// Mount implements Filesystem.  MemFS is RAM-rooted: it accepts (and
+// ignores) a nil device.
+func (m *MemFS) Mount(dev BlockDev) error { return nil }
+
+// Unmount implements Filesystem; the tree stays reachable, there is no
+// device to detach.
+func (m *MemFS) Unmount() error { return nil }
+
+// Capabilities implements Filesystem.
+func (m *MemFS) Capabilities() Capabilities { return m.Caps() }
+
 var _ FileSystem = (*MemFS)(nil)
+var _ Filesystem = (*MemFS)(nil)
 var _ Vnode = (*memNode)(nil)
 
 func (n *memNode) Attr() (Attr, error) {

@@ -59,6 +59,21 @@ type Server struct {
 	mu        sync.Mutex
 	filePorts map[uint32]mach.PortName // fd -> receive name in server task
 	portFDs   map[mach.PortName]uint32 // receive name -> fd (set dispatch)
+
+	// Volume bookkeeping for the redesigned mount API: cacheNew, when
+	// installed, interposes a buffer cache under every device-backed
+	// volume MountVolume attaches.  vmu guards both maps.
+	cacheNew func(BlockDev) CachedDev
+	vmu      sync.Mutex
+	volumes  map[string]*volume     // mount path -> volume
+	fsVols   map[FileSystem]*volume // mounted fs -> volume (close-flush)
+}
+
+// volume is one attached Filesystem and the device it sits on.
+type volume struct {
+	path string
+	fs   Filesystem
+	cdev CachedDev // non-nil when the server interposed a write-behind cache
 }
 
 // NewServer starts the file server task with pool server threads on the
@@ -79,6 +94,8 @@ func NewServer(k *mach.Kernel, pool int) (*Server, error) {
 		pool:      pool,
 		filePorts: make(map[uint32]mach.PortName),
 		portFDs:   make(map[mach.PortName]uint32),
+		volumes:   make(map[string]*volume),
+		fsVols:    make(map[FileSystem]*volume),
 	}
 	ctrl, err := s.task.AllocatePort()
 	if err != nil {
@@ -115,9 +132,117 @@ func (s *Server) FilePool() *mach.ServerPool { return s.filePool }
 // ControlPort returns the server-side control receive name.
 func (s *Server) ControlPort() mach.PortName { return s.ctrl }
 
-// Mount attaches a file system into the single rooted tree.
+// Mount attaches a file system into the single rooted tree.  Prefer
+// MountVolume, which goes through the redesigned Filesystem mount API
+// and picks up the buffer cache; Mount remains for pre-mounted file
+// systems and tests.
 func (s *Server) Mount(path string, fs FileSystem) error {
 	return s.Disp.Mount(path, fs)
+}
+
+// SetDevCache installs a buffer-cache factory: every device-backed
+// volume subsequently attached with MountVolume gets its device wrapped
+// by factory(dev), and the server flushes the cache on file close and
+// client Sync.  Install before mounting; a nil factory disables caching
+// (the default — the seed's direct-to-driver path).
+func (s *Server) SetDevCache(factory func(BlockDev) CachedDev) {
+	s.vmu.Lock()
+	s.cacheNew = factory
+	s.vmu.Unlock()
+}
+
+// MountVolume is the redesigned mount call: it attaches fs to dev
+// (through the buffer cache when one is installed) and mounts it at
+// path in the single rooted tree.  RAM-rooted filesystems pass a nil
+// dev, which is never cached.
+func (s *Server) MountVolume(path string, fs Filesystem, dev BlockDev) error {
+	vol := &volume{path: path, fs: fs}
+	s.vmu.Lock()
+	factory := s.cacheNew
+	s.vmu.Unlock()
+	if factory != nil && dev != nil {
+		vol.cdev = factory(dev)
+		dev = vol.cdev
+	}
+	if err := fs.Mount(dev); err != nil {
+		return err
+	}
+	if err := s.Disp.Mount(path, fs); err != nil {
+		fs.Unmount()
+		return err
+	}
+	s.vmu.Lock()
+	s.volumes[path] = vol
+	s.fsVols[fs] = vol
+	s.vmu.Unlock()
+	return nil
+}
+
+// UnmountVolume detaches a volume mounted with MountVolume: the
+// filesystem is flushed and unmounted, the cache (if any) written back,
+// and the path removed from the tree.
+func (s *Server) UnmountVolume(path string) error {
+	s.vmu.Lock()
+	vol, ok := s.volumes[path]
+	s.vmu.Unlock()
+	if !ok {
+		return ErrNotMounted
+	}
+	if err := s.Disp.Unmount(path); err != nil {
+		return err
+	}
+	if err := vol.fs.Unmount(); err != nil {
+		return err
+	}
+	if vol.cdev != nil {
+		if err := vol.cdev.Sync(); err != nil {
+			return err
+		}
+	}
+	s.vmu.Lock()
+	delete(s.volumes, path)
+	delete(s.fsVols, vol.fs)
+	s.vmu.Unlock()
+	return nil
+}
+
+// flushVolume pushes a cached volume's write-behind data to the device:
+// the filesystem commits first (a journaled format writes its journal
+// into the cache), then the cache flushes.  A volume without a cache is
+// a no-op — the seed's write-through path needs no flush.
+func (s *Server) flushVolume(fs FileSystem) error {
+	s.vmu.Lock()
+	vol := s.fsVols[fs]
+	s.vmu.Unlock()
+	if vol == nil || vol.cdev == nil {
+		return nil
+	}
+	if err := vol.fs.Sync(); err != nil {
+		return err
+	}
+	return vol.cdev.Sync()
+}
+
+// syncVolumes is the MsgSync path: every mounted file system commits,
+// then every cached device flushes its dirty blocks.
+func (s *Server) syncVolumes() error {
+	if err := s.Disp.Sync(); err != nil {
+		return err
+	}
+	s.vmu.Lock()
+	vols := make([]*volume, 0, len(s.volumes))
+	for _, v := range s.volumes {
+		vols = append(vols, v)
+	}
+	s.vmu.Unlock()
+	for _, v := range vols {
+		if v.cdev != nil {
+			if err := v.cdev.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // --- wire helpers ---------------------------------------------------------
@@ -176,7 +301,7 @@ var wireErrors = []error{
 	ErrNotFound, ErrExists, ErrNotDir, ErrIsDir, ErrNotEmpty,
 	ErrNameTooLong, ErrBadName, ErrNoSpace, ErrBadHandle, ErrReadOnly,
 	ErrNotMounted, ErrMountBusy, ErrCrossDevice, ErrUnsupported,
-	ErrBadOffset, ErrSemanticClash,
+	ErrBadOffset, ErrSemanticClash, ErrIO,
 }
 
 func fromWire(msg string) error {
@@ -353,7 +478,7 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 		}
 		return okReply([]byte(v), nil)
 	case MsgSync:
-		if err := s.Disp.Sync(); err != nil {
+		if err := s.syncVolumes(); err != nil {
 			return errReply(err)
 		}
 		return okReply(nil, nil)
@@ -427,6 +552,16 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 		}
 		return okReply(encodeAttr(a), nil)
 	case MsgClose:
+		// Write-behind contract: dirty data reaches the device by the
+		// time close returns, and a device error surfaces here — on the
+		// close — rather than silently after the write already
+		// "succeeded".  The blocks the flush could not write stay dirty,
+		// so a later Sync can retry (FaultyDev + Heal).  Uncached
+		// volumes flush nothing and charge nothing.
+		var flushErr error
+		if fsys, err := s.Disp.FileFS(fd); err == nil {
+			flushErr = s.flushVolume(fsys)
+		}
 		if err := s.Disp.Close(fd); err != nil {
 			return errReply(err)
 		}
@@ -449,6 +584,9 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 			// windows.  In single-threaded mode the port's dedicated
 			// server thread exits on the dead port.
 			s.task.DeallocatePort(fp)
+		}
+		if flushErr != nil {
+			return errReply(flushErr)
 		}
 		return okReply(nil, nil)
 	default:
@@ -539,7 +677,7 @@ func (s *Server) NewClient(th *mach.Thread, profile Profile) (*Client, error) {
 }
 
 func (c *Client) call(dest mach.PortName, id mach.MsgID, body, ool []byte) (*mach.Message, error) {
-	reply, err := c.th.RPC(dest, &mach.Message{ID: id, Body: body, OOL: ool})
+	reply, err := c.th.Call(dest, &mach.Message{ID: id, Body: body, OOL: ool}, mach.CallOpts{})
 	if err != nil {
 		return nil, err
 	}

@@ -103,6 +103,27 @@ type FileSystem interface {
 	Sync() error
 }
 
+// Filesystem is the redesigned mount API: one object per volume that
+// attaches to its backing device with Mount, serves the vnode tree, and
+// detaches with Unmount.  It subsumes the per-package Mount constructors
+// (fat.Mount, hpfs.Mount, jfs.Mount) so the file server — and the buffer
+// cache it interposes under every volume — can attach to any physical
+// format uniformly.  All four in-tree formats (fat, hpfs, jfs, memfs)
+// implement it.
+type Filesystem interface {
+	FileSystem
+	// Capabilities reports the format's constraint surface (the
+	// mount-level name for Caps).
+	Capabilities() Capabilities
+	// Mount attaches the volume to its backing device and reads the
+	// on-disk structure.  RAM-rooted formats accept a nil device.
+	// Mounting an already-mounted volume fails with ErrMountBusy.
+	Mount(dev BlockDev) error
+	// Unmount flushes the volume and detaches the device; subsequent
+	// device-backed operations fail with ErrNotMounted.
+	Unmount() error
+}
+
 // BlockDev is the device interface the physical formats sit on; it is
 // satisfied by *drivers.Disk and by RAMDisk for unit tests.
 type BlockDev interface {
@@ -110,6 +131,29 @@ type BlockDev interface {
 	WriteSectors(sector uint64, data []byte) error
 	Sectors() uint64
 }
+
+// CachedDev is a BlockDev with write-behind: writes may be deferred, so
+// the holder must Sync to make them durable and to learn about device
+// errors the deferral hid.  internal/bcache implements it; the file
+// server flushes cached devices on file close and MsgSync.
+type CachedDev interface {
+	BlockDev
+	// Sync flushes all dirty blocks to the underlying device.  On error
+	// the unwritten blocks stay dirty, so a later Sync can retry.
+	Sync() error
+}
+
+// deadDev is the device of an unmounted volume: every access fails.
+type deadDev struct{}
+
+func (deadDev) ReadSectors(uint64, []byte) error  { return ErrNotMounted }
+func (deadDev) WriteSectors(uint64, []byte) error { return ErrNotMounted }
+func (deadDev) Sectors() uint64                   { return 0 }
+
+// DeadDev is what Filesystem.Unmount implementations install in place of
+// the real device, turning use-after-unmount into clean ErrNotMounted
+// failures instead of nil dereferences.
+var DeadDev BlockDev = deadDev{}
 
 // SplitPath turns /a/b/c into components, validating the shape.
 func SplitPath(p string) ([]string, error) {

@@ -4,7 +4,8 @@
 # kstat's sharded counters and histograms are recorded from every server
 # thread at once; mach runs server pools and bound threads; vfs and os2
 # serve pooled multi-threaded RPC with shared bookkeeping hammered by their
-# pool tests; the monitor serves pooled snapshot queries over that RPC).
+# pool tests; the monitor serves pooled snapshot queries over that RPC;
+# bcache is hit by every file-server pool thread at once).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -12,4 +13,4 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/kstat/... ./internal/ktrace/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/...
+go test -race ./internal/kstat/... ./internal/ktrace/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
