@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check tables stats
+.PHONY: all build test check tables stats profile
 
 all: build test
 
@@ -23,3 +23,10 @@ tables:
 stats:
 	$(GO) run ./cmd/kstat -format prom -workload file1 | grep -E '^mach_rpc_calls_total [1-9]'
 	@echo "stats smoke ok: monitor served a snapshot with live RPC counters"
+
+# Smoke test the profiler end to end: boot wpos, open a profile window over
+# the monitor's RPC, run a workload inside it, and require nonzero
+# attributed cycles in the rendered breakdown.
+profile:
+	$(GO) run ./cmd/kprof -workload file1 -format servers | grep -E 'attributed [1-9][0-9]* cycles'
+	@echo "profile smoke ok: kprof attributed the workload over the system's own RPC"

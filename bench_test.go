@@ -6,8 +6,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/kstat"
 	"repro/internal/cpu"
+	"repro/internal/kprof"
+	"repro/internal/kstat"
 	"repro/internal/workload"
 )
 
@@ -478,5 +479,44 @@ func TestWorkloadObservationOnly(t *testing.T) {
 	}
 	if kstat.For(a.Kernel.CPU).Counter("mach.rpc.calls").Value() == 0 {
 		t.Fatal("fabric attached but saw no RPC traffic")
+	}
+}
+
+func TestProfWorkloadObservationOnly(t *testing.T) {
+	// The kprof acceptance gate: two identical boots, one with the profiler
+	// attached and enabled, one without.  File Intensive 1 must model the
+	// same cycle count on both — attribution observes the charge stream, it
+	// never joins it.
+	a, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := kprof.Attach(a.Kernel.CPU)
+	defer kprof.Detach(a.Kernel.CPU)
+	p.Enable()
+	ra, err := workload.Run(workload.FileIntensive1, a.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := workload.Run(workload.FileIntensive1, b.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles {
+		t.Fatalf("kprof perturbed the workload: attached=%d detached=%d", ra.Cycles, rb.Cycles)
+	}
+	// The attached run must actually have attributed the workload: the
+	// profile's total equals the engine's charge stream over the window.
+	cycles, _, _ := p.Snapshot().Totals()
+	if cycles == 0 {
+		t.Fatal("profiler attached but attributed no cycles")
+	}
+	if cycles < ra.Cycles {
+		t.Fatalf("profile attributed %d cycles, workload modeled %d — cycles escaped attribution",
+			cycles, ra.Cycles)
 	}
 }

@@ -206,6 +206,19 @@ func renderFrame(d kstat.Snapshot, res workload.Result, frame, iters int, wall t
 		}
 	}
 
+	// Buffer cache: hit ratio plus the dirty-sector level, keyed on the
+	// bcache.dirty gauge the cache pre-registers at construction.
+	if dirty, ok := d.Gauges["bcache.dirty"]; ok {
+		hits, misses := d.Counters["bcache.hits"], d.Counters["bcache.misses"]
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("\n%-8s %8d hits %8d misses  %5.1f%% hit  ra=%d wb=%d  bcache_dirty=%d\n",
+			"bcache", hits, misses, ratio,
+			d.Counters["bcache.readahead"], d.Counters["bcache.writeback"], dirty)
+	}
+
 	// Subsystem one-liners, only when the frame touched them.
 	sub := []struct{ label, a, b string }{
 		{"vfs", "vfs.ops.read", "vfs.ops.write"},

@@ -117,6 +117,17 @@ func New(eng *cpu.Engine, layout *cpu.Layout, inner vfs.BlockDev, cfg Config) *C
 		})
 		cfg.HRM.Request("bcache0", "fileserver", nil)
 	}
+	// Pre-register the bcache families: kstat creates families on first
+	// touch, and account() only touches counters that moved, so a freshly
+	// booted cache would otherwise be invisible to -prom scrapes and
+	// per-family monitor queries until the first hit/miss of each kind.
+	if st := c.stats(); st != nil {
+		st.Counter("bcache.hits")
+		st.Counter("bcache.misses")
+		st.Counter("bcache.readahead")
+		st.Counter("bcache.writeback")
+		st.Gauge("bcache.dirty").Set(0)
+	}
 	return c
 }
 

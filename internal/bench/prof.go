@@ -1,0 +1,148 @@
+package bench
+
+// E-PROF: explain Table 2's CPI with the exact profiler.
+//
+// Table 2 shows the 32-byte RPC retiring 2.8x the trap's instructions but
+// costing 5.3x its cycles — CPI 3.9 against 2.0 — and the paper attributes
+// the blow-up "largely to I-cache misses": the RPC path walks far more
+// code (client stub, kernel send, server stub, reply) through caches it
+// shares with everything else, where the trap's short path stays resident.
+// kstat's E-CTR derived the ratios from counters; E-PROF goes one level
+// deeper and *decomposes* them.  It profiles exactly one RPC and exactly
+// one trap with kprof attached, checks the per-region cycle ledger sums to
+// the direct counter measurements cycle-for-cycle (the profiler's
+// exactness contract), and splits the RPC-minus-trap cycle gap by stall
+// kind — turning the paper's prose attribution into a gated number: the
+// I-cache refill share must be the single largest component of the gap.
+//
+// The single-op bracket is deterministic: every charge of an RPC happens
+// before the server's reply commit or in the client's resume path, both
+// inside the bracket, and the idle server loop charges nothing between
+// replying and blocking in the next receive.
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/kprof"
+	"repro/internal/mach"
+)
+
+// OpProfile is the exact profile of one operation.
+type OpProfile struct {
+	Name     string
+	Counters cpu.Counters  // bracketed counter delta of the single op
+	Profile  kprof.Profile // kprof attribution of the same window
+	ByKind   [cpu.NumProfKinds]uint64
+	Exact    bool // profile totals == counter delta, cycle-for-cycle
+}
+
+// ProfResult is the E-PROF experiment outcome.
+type ProfResult struct {
+	RPC  OpProfile
+	Trap OpProfile
+
+	// GapCycles is the RPC-minus-trap cycle difference; GapByKind splits
+	// it by stall kind (signed: a kind can in principle shrink).
+	GapCycles int64
+	GapByKind [cpu.NumProfKinds]int64
+
+	// Largest is the stall kind contributing the most gap cycles, and
+	// LargestShare its fraction of the gap.  The paper's claim is that
+	// this is the I-cache ("largely to I-cache misses").
+	Largest      cpu.ProfKind
+	LargestShare float64
+	IMissShare   float64
+}
+
+// EPROF builds the Table 2 rig (echo server, 32-byte messages, warmed
+// caches), then profiles exactly one RPC and one thread_self trap.
+func EPROF() (ProfResult, error) {
+	k := mach.New(cpu.Pentium133())
+	srv := k.NewTask("server")
+	recv, err := srv.AllocatePort()
+	if err != nil {
+		return ProfResult{}, err
+	}
+	if _, err := srv.Spawn("loop", func(th *mach.Thread) {
+		th.Serve(recv, func(m *mach.Message) *mach.Message { return &mach.Message{Body: m.Body} })
+	}); err != nil {
+		return ProfResult{}, err
+	}
+	client := k.NewTask("client")
+	sendName, err := client.InsertRight(srv, recv, mach.DispMakeSend)
+	if err != nil {
+		return ProfResult{}, err
+	}
+	th, err := client.NewBoundThread("main")
+	if err != nil {
+		return ProfResult{}, err
+	}
+
+	p := kprof.Attach(k.CPU)
+	defer kprof.Detach(k.CPU)
+
+	const warm = 50
+	body := make([]byte, 32)
+	rpc := func() error {
+		_, err := th.Call(sendName, &mach.Message{Body: body}, mach.CallOpts{})
+		return err
+	}
+	trap := func() error { th.Self(); return nil }
+
+	// Warm the RPC path to Table 2's steady state, then profile one call.
+	for i := 0; i < warm; i++ {
+		if err := rpc(); err != nil {
+			return ProfResult{}, err
+		}
+	}
+	res := ProfResult{}
+	res.RPC, err = profileOne(p, k.CPU, "rpc32", rpc)
+	if err != nil {
+		return ProfResult{}, err
+	}
+
+	// Same for the trap.
+	for i := 0; i < warm; i++ {
+		trap()
+	}
+	res.Trap, err = profileOne(p, k.CPU, "thread_self", trap)
+	if err != nil {
+		return ProfResult{}, err
+	}
+
+	res.GapCycles = int64(res.RPC.Counters.Cycles) - int64(res.Trap.Counters.Cycles)
+	for kind := cpu.ProfKind(0); kind < cpu.NumProfKinds; kind++ {
+		res.GapByKind[kind] = int64(res.RPC.ByKind[kind]) - int64(res.Trap.ByKind[kind])
+		if res.GapByKind[kind] > res.GapByKind[res.Largest] {
+			res.Largest = kind
+		}
+	}
+	if res.GapCycles != 0 {
+		res.LargestShare = float64(res.GapByKind[res.Largest]) / float64(res.GapCycles)
+		res.IMissShare = float64(res.GapByKind[cpu.ProfIMiss]) / float64(res.GapCycles)
+	}
+	return res, nil
+}
+
+// profileOne brackets a single operation with an exclusive attribution
+// window and the engine's counters, and checks the two agree exactly.
+func profileOne(p *kprof.Profiler, eng *cpu.Engine, name string, op func() error) (OpProfile, error) {
+	p.Reset()
+	p.Enable()
+	base := eng.Counters()
+	err := op()
+	d := eng.Counters().Sub(base)
+	p.Disable()
+	if err != nil {
+		return OpProfile{}, fmt.Errorf("%s: %w", name, err)
+	}
+	prof := p.Snapshot()
+	out := OpProfile{Name: name, Counters: d, Profile: prof}
+	for kind := cpu.ProfKind(0); kind < cpu.NumProfKinds; kind++ {
+		out.ByKind[kind] = prof.KindCycles(kind)
+	}
+	cyc, bus, instr := prof.Totals()
+	out.Exact = cyc == d.Cycles && bus == d.BusCycles && instr == d.Instructions
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// TestEPROFExactness is the E-PROF gate: the per-region cycle ledger of
+// one profiled 32-byte RPC and one thread_self trap sums to the direct
+// counter measurements cycle-for-cycle, and the single profiled op agrees
+// with the Table 2 N-averaged reproduction to within the fractional-CPI
+// rounding slack.
+func TestEPROFExactness(t *testing.T) {
+	res, err := EPROF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []OpProfile{res.RPC, res.Trap} {
+		if !op.Exact {
+			c, b, i := op.Profile.Totals()
+			t.Errorf("%s: profile totals (%d cyc, %d bus, %d instr) != counters (%d, %d, %d)",
+				op.Name, c, b, i, op.Counters.Cycles, op.Counters.BusCycles, op.Counters.Instructions)
+		}
+		// Per-kind ledger must also sum to the total: every cycle has
+		// exactly one stall kind.
+		var sum uint64
+		for kind := cpu.ProfKind(0); kind < cpu.NumProfKinds; kind++ {
+			sum += op.ByKind[kind]
+		}
+		if sum != op.Counters.Cycles {
+			t.Errorf("%s: kind ledger sums to %d, counters say %d", op.Name, sum, op.Counters.Cycles)
+		}
+	}
+
+	// The single profiled op must agree with the N-averaged Table 2
+	// reproduction: same rig, same steady state.  The only legal slack is
+	// the base-CPI fractional carry (±1 cycle on a single op) and the
+	// float rounding of the average.
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(float64(res.RPC.Counters.Cycles) - t2.RPCCycles); diff > 2 {
+		t.Errorf("single profiled RPC = %d cycles, Table 2 average = %.2f (diff %.2f > 2)",
+			res.RPC.Counters.Cycles, t2.RPCCycles, diff)
+	}
+	if diff := math.Abs(float64(res.Trap.Counters.Cycles) - t2.TrapCycles); diff > 2 {
+		t.Errorf("single profiled trap = %d cycles, Table 2 average = %.2f (diff %.2f > 2)",
+			res.Trap.Counters.Cycles, t2.TrapCycles, diff)
+	}
+}
+
+// TestEPROFIMissLargest gates the paper's attribution: of the RPC-minus-
+// trap cycle gap, the I-cache refill share is the single largest stall
+// component.
+func TestEPROFIMissLargest(t *testing.T) {
+	res, err := EPROF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GapCycles <= 0 {
+		t.Fatalf("RPC-trap gap = %d cycles, want positive", res.GapCycles)
+	}
+	if res.Largest != cpu.ProfIMiss {
+		t.Errorf("largest gap component = %s (%.1f%%), paper says I-cache misses",
+			res.Largest, 100*res.LargestShare)
+		for kind := cpu.ProfKind(0); kind < cpu.NumProfKinds; kind++ {
+			t.Logf("  %-6s %+d cycles", kind, res.GapByKind[kind])
+		}
+	}
+	if res.IMissShare <= 0 {
+		t.Errorf("imiss share of the gap = %.3f, want positive", res.IMissShare)
+	}
+}
+
+// TestEPROFContext checks the profiled RPC's cycles actually carry the
+// mach-pushed context.  Under the serial client-blocks-on-RPC discipline
+// the frames form a true call tree: the server's serve/op frames nest
+// inside the client's rpc:server dispatch frame, so every cycle of the
+// call lands under rpc:server and the reply-delivery cycles land under
+// the nested serve:server frame.
+func TestEPROFContext(t *testing.T) {
+	res, err := EPROF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var underRPC, underServe uint64
+	for _, s := range res.RPC.Profile.Samples {
+		if len(s.Stack) > 0 && s.Stack[0] == "rpc:server" {
+			underRPC += s.Cycles
+		}
+		for _, f := range s.Stack {
+			if f == "serve:server" {
+				underServe += s.Cycles
+				break
+			}
+		}
+	}
+	if underRPC == 0 {
+		t.Error("no cycles attributed under the rpc:server dispatch frame")
+	}
+	if underServe == 0 {
+		t.Error("no cycles attributed under the nested serve:server frame")
+	}
+	if underServe >= underRPC {
+		t.Errorf("serve frame (%d cycles) should be a strict subset of the rpc frame (%d)",
+			underServe, underRPC)
+	}
+}

@@ -87,6 +87,55 @@ type Counters struct {
 	cpiFrac      uint64 // accumulated hundredths of base cycles
 }
 
+// ProfKind classifies where a charged cycle went.  Every cycle the engine
+// adds to Counters.Cycles is reported to an attached ProfSink under exactly
+// one kind, so a profiler summing its cells reproduces the counter deltas
+// cycle for cycle.
+type ProfKind uint8
+
+// The stall kinds, in charge order.
+const (
+	// ProfBase is the base pipeline cost of retiring instructions.
+	ProfBase ProfKind = iota
+	// ProfIMiss is I-cache line-fill latency.
+	ProfIMiss
+	// ProfDMiss is D-cache line-fill latency.
+	ProfDMiss
+	// ProfTLB is page-walk latency on a TLB miss.
+	ProfTLB
+	// ProfSwitch is the fixed serialization cost of an address-space switch.
+	ProfSwitch
+	// ProfStall is raw stall and uncached-overhead cycles (privilege
+	// transitions, interrupt latency, device service time).
+	ProfStall
+	// NumProfKinds is the number of stall kinds.
+	NumProfKinds
+)
+
+var profKindNames = [NumProfKinds]string{"base", "imiss", "dmiss", "tlb", "switch", "stall"}
+
+func (k ProfKind) String() string {
+	if k < NumProfKinds {
+		return profKindNames[k]
+	}
+	return "unknown"
+}
+
+// ProfSink receives every cost the engine charges, as it is charged: the
+// cycles, bus cycles and instructions just added, the stall kind they were
+// added under, and the name of the innermost code region executed so far
+// ("" before any Exec).  Data, stall and switch costs are attributed to the
+// most recently executed region — the code that issued them — exactly as a
+// PC-sampling profiler would attribute them, except nothing is sampled:
+// every charge is delivered.
+//
+// ProfCharge is called with the engine lock held.  Implementations must be
+// fast, must not call back into the engine, and — like every observation
+// hook in this system — must never charge costs themselves.
+type ProfSink interface {
+	ProfCharge(region string, kind ProfKind, cycles, bus, instr uint64)
+}
+
 // CPI returns cycles per instruction, the paper's fourth counter row.
 func (c Counters) CPI() float64 {
 	if c.Instructions == 0 {
@@ -263,6 +312,15 @@ type Engine struct {
 	// with the new ASID and a counter snapshot.  It is an observation
 	// hook (used by internal/ktrace) and must never charge the engine.
 	switchObs func(asid uint64, ctr Counters)
+
+	// prof, when set, receives every charge as it lands (used by
+	// internal/kprof).  Observation-only: the nil check is the entire
+	// disabled fast path.
+	prof ProfSink
+	// curRegion is the name of the most recently executed code region,
+	// the attribution target for charges with no code footprint of their
+	// own (data traffic, stalls, switches).
+	curRegion string
 }
 
 // NewEngine creates a processor with cold caches.
@@ -303,25 +361,36 @@ func (e *Engine) ColdStart() {
 	e.ctr = Counters{}
 }
 
-// chargeInstr adds n instructions of base pipeline cost.
+// chargeInstr adds n instructions of base pipeline cost.  The profiler is
+// handed the whole cycles actually added (the fractional CPI remainder
+// carries in cpiFrac), so profile sums match the counter deltas exactly.
 func (e *Engine) chargeInstr(n uint64) {
 	e.ctr.Instructions += n
 	e.ctr.cpiFrac += n * e.cfg.BaseCPI100
 	whole := e.ctr.cpiFrac / 100
 	e.ctr.cpiFrac %= 100
 	e.ctr.Cycles += whole
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfBase, whole, 0, n)
+	}
 }
 
 func (e *Engine) chargeIMiss() {
 	e.ctr.ICacheMisses++
 	e.ctr.Cycles += e.cfg.MissLatency
 	e.ctr.BusCycles += e.cfg.BusPerLine
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfIMiss, e.cfg.MissLatency, e.cfg.BusPerLine, 0)
+	}
 }
 
 func (e *Engine) chargeDMiss() {
 	e.ctr.DCacheMisses++
 	e.ctr.Cycles += e.cfg.MissLatency
 	e.ctr.BusCycles += e.cfg.BusPerLine
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfDMiss, e.cfg.MissLatency, e.cfg.BusPerLine, 0)
+	}
 }
 
 func (e *Engine) chargeTLB(addr uint64) {
@@ -329,6 +398,9 @@ func (e *Engine) chargeTLB(addr uint64) {
 		e.ctr.TLBMisses++
 		e.ctr.Cycles += e.cfg.TLBMissCycles
 		e.ctr.BusCycles += e.cfg.TLBMissBus
+		if e.prof != nil {
+			e.prof.ProfCharge(e.curRegion, ProfTLB, e.cfg.TLBMissCycles, e.cfg.TLBMissBus, 0)
+		}
 	}
 }
 
@@ -350,6 +422,7 @@ func (e *Engine) ExecN(r Region, n int) {
 }
 
 func (e *Engine) execLocked(r Region) {
+	e.curRegion = r.Name
 	e.chargeInstr(r.Instr)
 	end := r.Base + r.Size
 	for addr := r.Base &^ (e.cfg.ICache.LineSize - 1); addr < end; addr += e.cfg.ICache.LineSize {
@@ -437,6 +510,9 @@ func (e *Engine) SwitchAddressSpace(asid uint64) {
 	e.asid = asid
 	e.ctr.Switches++
 	e.ctr.Cycles += e.cfg.SwitchCycles
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfSwitch, e.cfg.SwitchCycles, 0, 0)
+	}
 	e.tlb.flush()
 	obs, ctr := e.switchObs, e.ctr
 	e.mu.Unlock()
@@ -467,6 +543,9 @@ func (e *Engine) Stall(cycles uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ctr.Cycles += cycles
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfStall, cycles, 0, 0)
+	}
 }
 
 // Instr charges n instructions with no specific code footprint (for
@@ -485,4 +564,16 @@ func (e *Engine) Overhead(cycles, bus uint64) {
 	defer e.mu.Unlock()
 	e.ctr.Cycles += cycles
 	e.ctr.BusCycles += bus
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfStall, cycles, bus, 0)
+	}
+}
+
+// SetProfSink installs (or, with nil, removes) the per-charge profiler
+// sink.  The sink runs under the engine lock and must not charge costs —
+// attaching one never changes modeled cycle counts.
+func (e *Engine) SetProfSink(s ProfSink) {
+	e.mu.Lock()
+	e.prof = s
+	e.mu.Unlock()
 }

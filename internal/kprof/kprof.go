@@ -1,0 +1,248 @@
+// Package kprof is the exact cycle-attribution profiler — the third leg
+// of the observability plane.  kstat says how many cycles, ktrace says
+// which spans; kprof says **which code regions those cycles landed in and
+// why**.  Because the cost model is deterministic there is no sampling:
+// the profiler hooks every charge point of a cpu.Engine and attributes
+// each charged cycle, exactly once, to a key of
+//
+//	(context stack, region, stall kind)
+//
+// where the stall kind is one of base (useful instruction issue), imiss
+// (I-cache refill), dmiss (D-cache refill), tlb (TLB reload), switch
+// (address-space switch) or stall (raw interrupt/device latency), and the
+// context stack is a lightweight server/op call context pushed by the
+// mach dispatch path ("rpc:<server>"), trap entries ("trap:<path>"), and
+// server loops / pool workers ("serve:<task>", "op:0x....").  Summing any
+// slice of the profile reproduces the engine's counter deltas
+// cycle-for-cycle — the E-PROF experiment gates on that exactness.
+//
+// Like kstat and ktrace, kprof is observation-only: the sink reads what
+// the engine charges but never charges anything itself, so modeled cycle
+// counts are bit-identical with the profiler attached or detached (gated
+// by TestProfWorkloadObservationOnly).  When detached the engine's hook
+// is a nil check; mach's context pushes reduce to one registry lookup.
+//
+// Exactness contract, precisely: the *region* and *kind* dimensions are
+// deterministic and exact — they are recorded under the engine lock at
+// the charge site.  The *context stack* is best-effort under concurrency,
+// exactly like ktrace's open-span stack: frames from concurrently running
+// threads interleave on one global stack, so with a multi-threaded
+// workload a cycle can land under a neighbor's frame.  Under the
+// client-blocks-on-RPC serial discipline (every Table 2 measurement, the
+// E-PROF rig) the context is exact too.
+package kprof
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+)
+
+// cellKey is one attribution bucket.
+type cellKey struct {
+	ctx    string // joined context stack, ";"-separated, "" at top level
+	region string // code region the engine was executing
+	kind   cpu.ProfKind
+}
+
+// cell accumulates the costs attributed to one key.
+type cell struct {
+	cycles, bus, instr, count uint64
+}
+
+// Profiler is an exact profiler attached to one engine.  All methods are
+// safe for concurrent use.
+type Profiler struct {
+	eng *cpu.Engine
+
+	mu      sync.Mutex
+	enabled bool
+	cells   map[cellKey]*cell
+	stack   []string
+	ctx     string // strings.Join(stack, ";"), maintained incrementally
+
+	charges   uint64 // total ProfCharge calls, never reset (kstat self-metric)
+	published uint64 // portion of charges already pushed to kstat
+}
+
+// ProfCharge implements cpu.ProfSink.  It runs under the engine lock at
+// every charge site; it must not call back into the engine and must not
+// charge costs.
+func (p *Profiler) ProfCharge(region string, kind cpu.ProfKind, cycles, bus, instr uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.charges++
+	if !p.enabled {
+		return
+	}
+	k := cellKey{ctx: p.ctx, region: region, kind: kind}
+	c := p.cells[k]
+	if c == nil {
+		c = &cell{}
+		p.cells[k] = c
+	}
+	c.cycles += cycles
+	c.bus += bus
+	c.instr += instr
+	c.count++
+}
+
+// Push enters a context frame ("rpc:vfs", "trap:thread_self",
+// "serve:vfs/worker/0", "op:0x0201") and returns the matching pop.  The
+// pop is depth-anchored: it truncates the stack back to the depth at
+// which the frame was pushed, so a missed inner pop cannot leave the
+// stack permanently skewed.  Use as:
+//
+//	defer p.Push("rpc:" + srv)()
+func (p *Profiler) Push(frame string) func() {
+	p.mu.Lock()
+	depth := len(p.stack)
+	p.stack = append(p.stack, frame)
+	p.rejoin()
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		if len(p.stack) > depth {
+			p.stack = p.stack[:depth]
+			p.rejoin()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// rejoin rebuilds the cached joined context.  Called with p.mu held.
+func (p *Profiler) rejoin() {
+	p.ctx = strings.Join(p.stack, ";")
+}
+
+// Depth reports the current context-stack depth (for tests).
+func (p *Profiler) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.stack)
+}
+
+// Enable starts attributing charges.  Charges arriving while disabled are
+// counted (the kprof.charges self-metric) but not attributed, which is
+// what makes start/stop windows cheap.
+func (p *Profiler) Enable() {
+	p.mu.Lock()
+	p.enabled = true
+	p.mu.Unlock()
+}
+
+// Disable stops attributing charges; the accumulated profile is kept.
+func (p *Profiler) Disable() {
+	p.mu.Lock()
+	p.enabled = false
+	p.mu.Unlock()
+}
+
+// Enabled reports whether charges are being attributed.
+func (p *Profiler) Enabled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enabled
+}
+
+// Reset clears the accumulated profile (the kprof.charges self-metric is
+// monotonic and survives).
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.cells = make(map[cellKey]*cell)
+	p.mu.Unlock()
+}
+
+// Snapshot captures the profile as a stable, sorted sample list and
+// refreshes the profiler's kstat self-metrics (kprof.charges counter,
+// kprof.cells and kprof.enabled gauges) on the engine's Set, if one is
+// attached.
+func (p *Profiler) Snapshot() Profile {
+	p.mu.Lock()
+	prof := Profile{Samples: make([]Sample, 0, len(p.cells))}
+	for k, c := range p.cells {
+		var stack []string
+		if k.ctx != "" {
+			stack = strings.Split(k.ctx, ";")
+		}
+		prof.Samples = append(prof.Samples, Sample{
+			Stack:  stack,
+			Region: k.region,
+			Kind:   k.kind.String(),
+			Cycles: c.cycles,
+			Bus:    c.bus,
+			Instr:  c.instr,
+			Count:  c.count,
+		})
+	}
+	delta := p.charges - p.published
+	p.published = p.charges
+	cells, enabled := len(p.cells), p.enabled
+	p.mu.Unlock()
+
+	sort.Slice(prof.Samples, func(i, j int) bool {
+		a, b := &prof.Samples[i], &prof.Samples[j]
+		if ak, bk := strings.Join(a.Stack, ";"), strings.Join(b.Stack, ";"); ak != bk {
+			return ak < bk
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Kind < b.Kind
+	})
+
+	if st := kstat.For(p.eng); st != nil {
+		st.Counter("kprof.charges").Add(delta)
+		st.Gauge("kprof.cells").Set(int64(cells))
+		if enabled {
+			st.Gauge("kprof.enabled").Set(1)
+		} else {
+			st.Gauge("kprof.enabled").Set(0)
+		}
+	}
+	return prof
+}
+
+// --- engine registry -------------------------------------------------------
+
+// registry maps *cpu.Engine -> *Profiler, the same idiom as kstat's and
+// ktrace's registries: mach hook points consult it, a miss is the
+// disabled fast path.
+var registry sync.Map
+
+// Attach creates a Profiler for the engine (or returns the existing one),
+// installs it as the engine's ProfSink, and registers it for the mach
+// context hooks.  The profiler starts disabled; call Enable to open an
+// attribution window.
+func Attach(eng *cpu.Engine) *Profiler {
+	if p := For(eng); p != nil {
+		return p
+	}
+	p := &Profiler{eng: eng, cells: make(map[cellKey]*cell)}
+	actual, loaded := registry.LoadOrStore(eng, p)
+	p = actual.(*Profiler)
+	if !loaded {
+		eng.SetProfSink(p)
+	}
+	return p
+}
+
+// Detach removes the engine's profiler; charge sites revert to the nil
+// fast path and mach context pushes become no-ops.
+func Detach(eng *cpu.Engine) {
+	eng.SetProfSink(nil)
+	registry.Delete(eng)
+}
+
+// For returns the engine's Profiler, or nil when profiling is detached.
+// This is the mach hook-point fast path.
+func For(eng *cpu.Engine) *Profiler {
+	v, ok := registry.Load(eng)
+	if !ok {
+		return nil
+	}
+	return v.(*Profiler)
+}

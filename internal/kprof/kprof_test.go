@@ -1,0 +1,299 @@
+package kprof
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+)
+
+// rig builds an engine with an attached, enabled profiler and two placed
+// code regions.
+func rig(t *testing.T) (*cpu.Engine, *Profiler, cpu.Region, cpu.Region) {
+	t.Helper()
+	eng := cpu.NewEngine(cpu.Pentium133())
+	l := cpu.NewLayout(0x10_0000)
+	ra := l.PlaceInstr("alpha", 400)
+	rb := l.PlaceInstr("beta", 700)
+	p := Attach(eng)
+	t.Cleanup(func() { Detach(eng) })
+	p.Enable()
+	return eng, p, ra, rb
+}
+
+// TestExactAttribution is the package-level exactness contract: the sum of
+// every profile cell equals the engine's counter deltas cycle-for-cycle,
+// and each stall kind's cycles equal the corresponding counter's cost.
+func TestExactAttribution(t *testing.T) {
+	eng, p, ra, rb := rig(t)
+	cfg := eng.Config()
+
+	base := eng.Counters()
+	eng.ExecN(ra, 3)
+	eng.ExecN(rb, 2)
+	eng.Read(0x9000_0000, 256)
+	eng.Write(0x9000_2000, 64)
+	eng.SwitchAddressSpace(7)
+	eng.Exec(ra)
+	eng.Stall(230)
+	eng.Overhead(10, 4)
+	eng.Instr(55)
+	d := eng.Counters().Sub(base)
+
+	prof := p.Snapshot()
+	cycles, bus, instr := prof.Totals()
+	if cycles != d.Cycles || bus != d.BusCycles || instr != d.Instructions {
+		t.Fatalf("profile totals (%d cyc, %d bus, %d instr) != counter deltas (%d, %d, %d)",
+			cycles, bus, instr, d.Cycles, d.BusCycles, d.Instructions)
+	}
+
+	// Per-kind exactness against the model's cost constants.
+	if got, want := prof.KindCycles(cpu.ProfIMiss), d.ICacheMisses*cfg.MissLatency; got != want {
+		t.Errorf("imiss cycles = %d, want %d (%d misses x %d)", got, want, d.ICacheMisses, cfg.MissLatency)
+	}
+	if got, want := prof.KindCycles(cpu.ProfDMiss), d.DCacheMisses*cfg.MissLatency; got != want {
+		t.Errorf("dmiss cycles = %d, want %d", got, want)
+	}
+	if got, want := prof.KindCycles(cpu.ProfTLB), d.TLBMisses*cfg.TLBMissCycles; got != want {
+		t.Errorf("tlb cycles = %d, want %d", got, want)
+	}
+	if got, want := prof.KindCycles(cpu.ProfSwitch), d.Switches*cfg.SwitchCycles; got != want {
+		t.Errorf("switch cycles = %d, want %d", got, want)
+	}
+	if got, want := prof.KindCycles(cpu.ProfStall), uint64(230+10); got != want {
+		t.Errorf("stall cycles = %d, want %d", got, want)
+	}
+	// Base is the remainder — everything not claimed by a stall kind.
+	claimed := prof.KindCycles(cpu.ProfIMiss) + prof.KindCycles(cpu.ProfDMiss) +
+		prof.KindCycles(cpu.ProfTLB) + prof.KindCycles(cpu.ProfSwitch) + prof.KindCycles(cpu.ProfStall)
+	if got, want := prof.KindCycles(cpu.ProfBase), d.Cycles-claimed; got != want {
+		t.Errorf("base cycles = %d, want %d", got, want)
+	}
+
+	// Region attribution: both regions appear, and the hottest rows carry
+	// real instruction counts.
+	regions := prof.ByRegion()
+	seen := map[string]bool{}
+	for _, a := range regions {
+		seen[a.Name] = true
+	}
+	if !seen["alpha"] || !seen["beta"] {
+		t.Fatalf("regions missing from profile: %v", regions)
+	}
+}
+
+// TestObservationOnly checks the attach/detach invariance directly at the
+// engine level: the same instruction stream charges identical cycles with
+// the profiler attached or not.
+func TestObservationOnly(t *testing.T) {
+	run := func(attach bool) cpu.Counters {
+		eng := cpu.NewEngine(cpu.Pentium133())
+		l := cpu.NewLayout(0x10_0000)
+		ra := l.PlaceInstr("alpha", 400)
+		rb := l.PlaceInstr("beta", 700)
+		if attach {
+			p := Attach(eng)
+			defer Detach(eng)
+			p.Enable()
+		}
+		eng.ExecN(ra, 10)
+		eng.SwitchAddressSpace(3)
+		eng.ExecN(rb, 10)
+		eng.Read(0x9000_0000, 4096)
+		eng.Stall(500)
+		return eng.Counters()
+	}
+	with, without := run(true), run(false)
+	if with != without {
+		t.Fatalf("profiler perturbed the model: with=%+v without=%+v", with, without)
+	}
+}
+
+// TestContextStack verifies frames attribute cycles under the pushed
+// context and that the depth-anchored pop recovers from a missed inner
+// pop.
+func TestContextStack(t *testing.T) {
+	eng, p, ra, _ := rig(t)
+
+	popRPC := p.Push("rpc:vfs")
+	popOp := p.Push("op:0x0201")
+	eng.Exec(ra)
+	popOp()
+	eng.Exec(ra)
+	popRPC()
+	eng.Exec(ra)
+
+	prof := p.Snapshot()
+	var deep, mid, top bool
+	for _, s := range prof.Samples {
+		switch strings.Join(s.Stack, ";") {
+		case "rpc:vfs;op:0x0201":
+			deep = true
+		case "rpc:vfs":
+			mid = true
+		case "":
+			top = true
+		}
+	}
+	if !deep || !mid || !top {
+		t.Fatalf("missing context levels (deep=%v mid=%v top=%v): %+v", deep, mid, top, prof.Samples)
+	}
+
+	// Missed inner pop: the outer pop truncates past it.
+	popOuter := p.Push("serve:fs")
+	p.Push("op:0x0100") // pop lost
+	popOuter()
+	if d := p.Depth(); d != 0 {
+		t.Fatalf("depth after anchored outer pop = %d, want 0", d)
+	}
+}
+
+// TestWindows checks enable/disable/reset window semantics.
+func TestWindows(t *testing.T) {
+	eng, p, ra, _ := rig(t)
+
+	eng.Exec(ra)
+	if c, _, _ := p.Snapshot().Totals(); c == 0 {
+		t.Fatal("enabled window attributed nothing")
+	}
+
+	p.Disable()
+	before, _, _ := p.Snapshot().Totals()
+	eng.Exec(ra)
+	if after, _, _ := p.Snapshot().Totals(); after != before {
+		t.Fatalf("disabled window attributed cycles: %d -> %d", before, after)
+	}
+
+	p.Reset()
+	if n := len(p.Snapshot().Samples); n != 0 {
+		t.Fatalf("reset left %d samples", n)
+	}
+	p.Enable()
+	base := eng.Counters()
+	eng.Exec(ra)
+	d := eng.Counters().Sub(base)
+	if c, _, _ := p.Snapshot().Totals(); c != d.Cycles {
+		t.Fatalf("window after reset = %d cycles, want %d", c, d.Cycles)
+	}
+}
+
+// TestFoldedAndJSON checks the folded-stack exporter's line format and the
+// JSON round trip.
+func TestFoldedAndJSON(t *testing.T) {
+	eng, p, ra, _ := rig(t)
+	pop := p.Push("rpc:vfs")
+	eng.Exec(ra)
+	pop()
+	prof := p.Snapshot()
+
+	var folded bytes.Buffer
+	if err := prof.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(folded.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("folded line %q: want 'stack count'", line)
+		}
+		if strings.HasPrefix(fields[0], "rpc:vfs;alpha;") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rpc:vfs;alpha;<kind> line in folded output:\n%s", folded.String())
+	}
+
+	var js bytes.Buffer
+	if err := prof.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(prof.Samples) {
+		t.Fatalf("JSON round trip: %d samples, want %d", len(back.Samples), len(prof.Samples))
+	}
+	c0, b0, i0 := prof.Totals()
+	c1, b1, i1 := back.Totals()
+	if c0 != c1 || b0 != b1 || i0 != i1 {
+		t.Fatalf("JSON round trip changed totals")
+	}
+}
+
+// TestSelfMetrics checks that Snapshot refreshes the kprof.* families on
+// the engine's kstat Set.
+func TestSelfMetrics(t *testing.T) {
+	eng, p, ra, _ := rig(t)
+	st := kstat.Attach(eng)
+	defer kstat.Detach(eng)
+
+	eng.Exec(ra)
+	p.Snapshot()
+	snap := st.Snapshot()
+	if snap.Counters["kprof.charges"] == 0 {
+		t.Error("kprof.charges not published")
+	}
+	if snap.Gauges["kprof.cells"] == 0 {
+		t.Error("kprof.cells not published")
+	}
+	if snap.Gauges["kprof.enabled"] != 1 {
+		t.Error("kprof.enabled != 1 while enabled")
+	}
+	p.Disable()
+	p.Snapshot()
+	if st.Snapshot().Gauges["kprof.enabled"] != 0 {
+		t.Error("kprof.enabled != 0 while disabled")
+	}
+}
+
+// TestConcurrent exercises charges, pushes and snapshots from several
+// goroutines at once; the race detector is the assertion.
+func TestConcurrent(t *testing.T) {
+	eng, p, ra, rb := rig(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				pop := p.Push("serve:worker")
+				if i%2 == 0 {
+					eng.Exec(ra)
+				} else {
+					eng.Exec(rb)
+				}
+				pop()
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			p.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	// Totals stay exact even though contexts interleaved.
+	d := eng.Counters()
+	if c, _, _ := p.Snapshot().Totals(); c != d.Cycles {
+		t.Fatalf("concurrent totals = %d cycles, want %d", c, d.Cycles)
+	}
+}
+
+// TestAttachIdempotent checks Attach returns the existing profiler.
+func TestAttachIdempotent(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	p1 := Attach(eng)
+	p2 := Attach(eng)
+	defer Detach(eng)
+	if p1 != p2 {
+		t.Fatal("Attach created a second profiler for the same engine")
+	}
+}

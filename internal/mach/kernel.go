@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/kprof"
 	"repro/internal/kstat"
 )
 
@@ -211,6 +212,9 @@ func (k *Kernel) allocPortID() uint64 {
 // drivers, the monolithic baseline of the evaluation) use this to model
 // their trap-based service entries.
 func (k *Kernel) Trap(path cpu.Region) {
+	if p := kprof.For(k.CPU); p != nil {
+		defer p.Push("trap:" + path.Name)()
+	}
 	k.trap()
 	if path.Instr > 0 {
 		k.CPU.Exec(path)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
 )
@@ -93,6 +94,9 @@ func (t *Task) servePool(name string, n int, recv receiveFn, h func(PortName, *M
 // worker.
 func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName, *Message) *Message) {
 	k := th.task.kernel
+	// Per-worker kprof context frame, computed once so the loop does no
+	// string concatenation per request.
+	serveCtx := "serve:" + th.task.name + "/" + th.name
 	for {
 		req, resp, pn, err := recv(th)
 		if err != nil {
@@ -106,12 +110,23 @@ func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName
 		if st != nil {
 			st.Gauge(p.busyFam).Inc()
 		}
+		reply := func() {
+			if pr := kprof.For(k.CPU); pr != nil {
+				pop := pr.Push(serveCtx)
+				popOp := pr.Push(fmt.Sprintf("op:%#04x", uint32(req.ID)))
+				_ = resp.Reply(h(pn, req))
+				popOp()
+				pop()
+			} else {
+				_ = resp.Reply(h(pn, req))
+			}
+		}
 		if tr := ktrace.For(k.CPU); tr != nil {
 			sp := tr.Begin(ktrace.EvRPCServe, "mach.rpc", "serve:"+th.task.name+"/"+th.name, req.trace)
-			_ = resp.Reply(h(pn, req))
+			reply()
 			sp.End()
 		} else {
-			_ = resp.Reply(h(pn, req))
+			reply()
 		}
 		if st != nil {
 			st.Gauge(p.busyFam).Dec()

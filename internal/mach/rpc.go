@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
 )
@@ -85,6 +86,25 @@ func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (
 func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time) (*Message, error) {
 	k := th.task.kernel
 	st := kstat.For(k.CPU)
+	pr := kprof.For(k.CPU)
+	if st == nil && pr == nil {
+		return th.rpcCallRaw(dest, req, deadline)
+	}
+	// Charge-free destination-server lookup, shared by the kstat
+	// per-destination split and the kprof dispatch context frame.
+	srvName := ""
+	if e, lerr := th.task.ports.lookup(dest, RightSend); lerr == nil {
+		if rt := e.port.receiverTask(); rt != nil {
+			srvName = rt.name
+		}
+	}
+	if pr != nil {
+		frame := "rpc:?"
+		if srvName != "" {
+			frame = "rpc:" + srvName
+		}
+		defer pr.Push(frame)()
+	}
 	if st == nil {
 		return th.rpcCallRaw(dest, req, deadline)
 	}
@@ -94,12 +114,8 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 	// query) already sees it; latency and reply size land after.
 	st.Counter("mach.rpc.calls").Inc()
 	st.Counter("mach.rpc.bytes_in").Add(reqBytes)
-	// Per-destination-server split for the top view, via a charge-free
-	// right lookup.
-	if e, lerr := th.task.ports.lookup(dest, RightSend); lerr == nil {
-		if rt := e.port.receiverTask(); rt != nil {
-			st.Counter("mach.rpc.to." + rt.name + ".calls").Inc()
-		}
+	if srvName != "" {
+		st.Counter("mach.rpc.to." + srvName + ".calls").Inc()
 	}
 	base := k.CPU.Counters()
 	m, err := th.rpcCallRaw(dest, req, deadline)
@@ -318,6 +334,19 @@ func (th *Thread) Serve(recvName PortName, h Handler) error {
 			return err
 		}
 		var rerr error
+		serve := func() {
+			if pr := kprof.For(k.CPU); pr != nil {
+				// Profile context: the server frame plus the operation
+				// being handled, so cycles roll up by server and by op.
+				pop := pr.Push("serve:" + th.task.name)
+				popOp := pr.Push(fmt.Sprintf("op:%#04x", uint32(req.ID)))
+				rerr = resp.Reply(h(req))
+				popOp()
+				pop()
+			} else {
+				rerr = resp.Reply(h(req))
+			}
+		}
 		if t := ktrace.For(k.CPU); t != nil {
 			// The server-side span is parented to the client's RPC span
 			// carried in the message, so the causal tree crosses tasks.
@@ -326,10 +355,10 @@ func (th *Thread) Serve(recvName PortName, h Handler) error {
 			// concurrency model in internal/bench calibrates from these
 			// spans.  ServerPool workers emit the same shape.
 			sp := t.Begin(ktrace.EvRPCServe, "mach.rpc", "serve:"+th.task.name, req.trace)
-			rerr = resp.Reply(h(req))
+			serve()
 			sp.End()
 		} else {
-			rerr = resp.Reply(h(req))
+			serve()
 		}
 		if rerr != nil {
 			return rerr

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
 )
@@ -237,6 +238,9 @@ func (th *Thread) Done() <-chan struct{} { return th.doneCh }
 // instructions on the calibrated model.
 func (th *Thread) Self() PortName {
 	k := th.task.kernel
+	if p := kprof.For(k.CPU); p != nil {
+		defer p.Push("trap:thread_self")()
+	}
 	st := kstat.For(k.CPU)
 	var base cpu.Counters
 	if st != nil {

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/mach"
 )
@@ -27,12 +28,16 @@ const (
 	MsgSnapshot mach.MsgID = 0x1100 + iota
 	MsgDelta
 	MsgFamily
+	MsgProfStart
+	MsgProfStop
+	MsgProfile
 )
 
 // Errors returned by the monitor.
 var (
 	ErrUnknownBaseline = errors.New("monitor: unknown or evicted snapshot id")
 	ErrBadRequest      = errors.New("monitor: malformed request")
+	ErrNoProfiler      = errors.New("monitor: no profiler attached (ProfStart first)")
 )
 
 // maxBaselines bounds the server's retained delta baselines; the oldest
@@ -106,10 +111,40 @@ func (s *Server) handle(req *mach.Message) *mach.Message {
 		return snapReply(id, cur.Delta(base))
 	case MsgFamily:
 		return snapReply(0, s.set.Snapshot().Filter(string(req.Body)))
+	case MsgProfStart:
+		// Open an attribution window: attach the profiler on demand (a
+		// no-op when already attached), clear any previous window, and
+		// enable.  Attachment is observation-only, so flipping it over
+		// RPC never perturbs the cycles being profiled — beyond the
+		// charges of this very call, which land before Enable runs.
+		p := kprof.Attach(s.k.CPU)
+		p.Reset()
+		p.Enable()
+		return okReply()
+	case MsgProfStop:
+		p := kprof.For(s.k.CPU)
+		if p == nil {
+			return toWire(ErrNoProfiler)
+		}
+		p.Disable()
+		return okReply()
+	case MsgProfile:
+		p := kprof.For(s.k.CPU)
+		if p == nil {
+			return toWire(ErrNoProfiler)
+		}
+		b, err := json.Marshal(p.Snapshot())
+		if err != nil {
+			return toWire(err)
+		}
+		return &mach.Message{ID: 0, OOL: b}
 	default:
 		return toWire(ErrBadRequest)
 	}
 }
+
+// okReply is the bodiless success reply of the profile control messages.
+func okReply() *mach.Message { return &mach.Message{ID: 0} }
 
 // saveBaseline stores a snapshot for later delta queries, evicting the
 // oldest baseline past the cap, and returns its id.
@@ -144,7 +179,7 @@ func snapReply(id uint64, snap kstat.Snapshot) *mach.Message {
 	return &mach.Message{ID: 0, Body: idb[:], OOL: b}
 }
 
-var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest}
+var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest, ErrNoProfiler}
 
 func toWire(err error) *mach.Message {
 	return &mach.Message{ID: 1, Body: []byte(err.Error())}
@@ -220,4 +255,40 @@ func (c *Client) DeltaSince(baseline uint64) (kstat.Snapshot, uint64, error) {
 func (c *Client) Family(prefix string) (kstat.Snapshot, error) {
 	_, snap, err := c.call(MsgFamily, []byte(prefix))
 	return snap, err
+}
+
+// ctl performs a control call that replies with no payload.
+func (c *Client) ctl(id mach.MsgID) error {
+	reply, err := c.th.Call(c.port, &mach.Message{ID: id}, mach.CallOpts{})
+	if err != nil {
+		return err
+	}
+	if reply.ID != 0 {
+		return fromWire(string(reply.Body))
+	}
+	return nil
+}
+
+// ProfStart opens a profile attribution window: the server attaches the
+// kprof profiler to the system engine (observation-only), clears any
+// previous window, and enables attribution.
+func (c *Client) ProfStart() error { return c.ctl(MsgProfStart) }
+
+// ProfStop closes the window; the accumulated profile stays readable.
+func (c *Client) ProfStop() error { return c.ctl(MsgProfStop) }
+
+// Profile fetches the current profile as recorded so far in the window.
+func (c *Client) Profile() (kprof.Profile, error) {
+	reply, err := c.th.Call(c.port, &mach.Message{ID: MsgProfile}, mach.CallOpts{})
+	if err != nil {
+		return kprof.Profile{}, err
+	}
+	if reply.ID != 0 {
+		return kprof.Profile{}, fromWire(string(reply.Body))
+	}
+	var p kprof.Profile
+	if err := json.Unmarshal(reply.OOL, &p); err != nil {
+		return kprof.Profile{}, err
+	}
+	return p, nil
 }

@@ -5,7 +5,8 @@
 # thread at once; mach runs server pools and bound threads; vfs and os2
 # serve pooled multi-threaded RPC with shared bookkeeping hammered by their
 # pool tests; the monitor serves pooled snapshot queries over that RPC;
-# bcache is hit by every file-server pool thread at once).
+# bcache is hit by every file-server pool thread at once; kprof's charge
+# sink and context stack are driven from every charging thread at once).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -13,4 +14,4 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/kstat/... ./internal/ktrace/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
+go test -race ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
