@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check tables stats profile
+.PHONY: all build test check tables stats profile benchgate smp
 
 all: build test
 
@@ -30,3 +30,13 @@ stats:
 profile:
 	$(GO) run ./cmd/kprof -workload file1 -format servers | grep -E 'attributed [1-9][0-9]* cycles'
 	@echo "profile smoke ok: kprof attributed the workload over the system's own RPC"
+
+# Benchmark gate: regenerate Table 1 and fail on any WPOS/native ratio
+# more than 5% above the committed BENCH_baseline.json.
+benchgate:
+	sh scripts/benchgate.sh
+
+# SMP smoke: boot with 4 engines, run concurrent workloads, and assert
+# nonzero per-engine cycles and migrations through the monitor's RPC.
+smp:
+	sh scripts/smp_smoke.sh

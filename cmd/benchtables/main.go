@@ -11,9 +11,11 @@
 //	benchtables -only fig1 # the architecture figure
 //	benchtables -only extras  # E5-E10 ablations
 //	benchtables -only cache   # E-CACHE: buffer-cache size sweep
+//	benchtables -only smp     # E-SMP: multiprocessor scaling curve
 //	benchtables -cache 1024   # Table 1 with a 1024-sector buffer cache
 //	benchtables -json results.json  # also write machine-readable records
 //	benchtables -stats stats.json   # per-workload kstat metrics appendix
+//	benchtables -only 1 -gate BENCH_baseline.json  # fail on ratio regressions
 package main
 
 import (
@@ -44,10 +46,11 @@ func emit(table, name, metric string, measured, paper float64) {
 }
 
 func main() {
-	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras, cache (default all but cache)")
+	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras, cache, smp (default all but cache and smp)")
 	cache := flag.Int("cache", 0, "file-server buffer cache size in sectors for Table 1 (0 = off, the paper's configuration)")
 	jsonPath := flag.String("json", "", "also write the regenerated numbers as JSON records to this path")
 	statsPath := flag.String("stats", "", "write the per-workload kstat metrics appendix as JSON to this path")
+	gatePath := flag.String("gate", "", "compare Table 1 ratios against this baseline JSON and exit nonzero on a >5% regression")
 	flag.Parse()
 	run := func(name string) bool { return *only == "" || *only == name }
 	if run("fig1") {
@@ -68,12 +71,73 @@ func main() {
 	if *only == "cache" {
 		cacheSweep()
 	}
+	if *only == "smp" {
+		smpCurve()
+	}
 	if *jsonPath != "" {
 		writeJSON(*jsonPath)
 	}
 	if *statsPath != "" {
 		statsAppendix(*statsPath)
 	}
+	if *gatePath != "" {
+		gate(*gatePath)
+	}
+}
+
+// gateTolerance is the allowed relative growth of a Table 1 ratio before
+// the gate fails the run.
+const gateTolerance = 0.05
+
+// gate compares this run's Table 1 ratio records against a committed
+// baseline and exits nonzero when any ratio regressed by more than the
+// tolerance.  Ratios are WPOS-cycles over native-cycles, so bigger is
+// worse.
+func gate(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	var baseline []record
+	err = json.NewDecoder(f).Decode(&baseline)
+	f.Close()
+	if err != nil {
+		fail(fmt.Errorf("gate: %s: %w", path, err))
+	}
+	current := map[string]float64{}
+	for _, r := range records {
+		if r.Table == "table1" && r.Metric == "ratio" {
+			current[r.Name] = r.Measured
+		}
+	}
+	if len(current) == 0 {
+		fail(fmt.Errorf("gate: this run produced no Table 1 ratios (use -only 1 or the default sections)"))
+	}
+	fmt.Printf("Benchmark gate: Table 1 ratios vs %s (tolerance %.0f%%)\n\n", path, 100*gateTolerance)
+	failures := 0
+	for _, b := range baseline {
+		if b.Table != "table1" || b.Metric != "ratio" {
+			continue
+		}
+		got, ok := current[b.Name]
+		if !ok {
+			fmt.Printf("  MISSING %-19s baseline %.3f, not measured this run\n", b.Name, b.Measured)
+			failures++
+			continue
+		}
+		status := "ok"
+		if got > b.Measured*(1+gateTolerance) {
+			status = "REGRESSED"
+			failures++
+		}
+		fmt.Printf("  %-9s %-19s baseline %.3f measured %.3f (%+.1f%%)\n",
+			status, b.Name, b.Measured, got, 100*(got/b.Measured-1))
+	}
+	if failures > 0 {
+		fmt.Printf("\ngate: %d ratio(s) regressed beyond %.0f%%\n", failures, 100*gateTolerance)
+		os.Exit(1)
+	}
+	fmt.Println("\ngate: all ratios within tolerance")
 }
 
 // statsAppendix reruns the Table 1 workloads with the metrics fabric and
@@ -225,6 +289,48 @@ func cacheSweep() {
 		emit("ecache", fmt.Sprintf("%d sectors", p.Sectors), "fi1_ratio", p.FI1, 0)
 		emit("ecache", fmt.Sprintf("%d sectors", p.Sectors), "fi2_ratio", p.FI2, 0)
 	}
+	fmt.Println()
+}
+
+func smpCurve() {
+	res, err := bench.ESMP()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("E-SMP: multiprocessor scaling of the File Intensive 1 mix")
+	fmt.Println("(8 concurrent OS/2 clients, 4-thread file-server pool, buffer cache on;")
+	fmt.Println(" elapsed = virtual-time makespan of the burst schedule)")
+	fmt.Println()
+	row := func(p bench.SMPPoint) {
+		fmt.Printf("%6d %10d %16d %12.0f %8.2fx %11d %8d %12d\n",
+			p.CPUs, p.Ops, p.ElapsedCycles, p.OpsPerSec, p.Speedup,
+			p.Migrations, p.Steals, p.CoherenceCycles)
+	}
+	fmt.Printf("%6s %10s %16s %12s %9s %11s %8s %12s\n",
+		"cpus", "ops", "elapsed cycles", "ops/sec", "speedup", "migrations", "steals", "coher cycles")
+	for _, p := range res.Curve {
+		row(p)
+		name := fmt.Sprintf("%d cpus", p.CPUs)
+		emit("esmp", name, "ops_per_sec", p.OpsPerSec, 0)
+		emit("esmp", name, "speedup", p.Speedup, 0)
+		emit("esmp", name, "migrations", float64(p.Migrations), 0)
+	}
+	if p := res.Raw; p.CPUs > 0 {
+		fmt.Printf("\nraw driver path (cache off, %d cpus): every operation chains through the\nsingle-threaded block driver and its device time:\n", p.CPUs)
+		row(p)
+		emit("esmp", "raw-driver", "ops_per_sec", p.OpsPerSec, 0)
+		emit("esmp", "raw-driver", "speedup", p.Speedup, 0)
+	}
+	if p := res.Pinned; p.CPUs > 0 {
+		fmt.Printf("\ndriver-pinned (cache on, block driver confined to one processor of %d\nvia processor_assign/task_assign):\n", p.CPUs)
+		row(p)
+		emit("esmp", "driver-pinned", "ops_per_sec", p.OpsPerSec, 0)
+		emit("esmp", "driver-pinned", "speedup", p.Speedup, 0)
+	}
+	fmt.Println()
+	fmt.Println("The curve flattens past the pool size: beyond 4 engines the file server's")
+	fmt.Println("4 worker threads are the bottleneck, not the CPU count — and the raw")
+	fmt.Println("driver path shows the serialized-driver ceiling no CPU count lifts.")
 	fmt.Println()
 }
 

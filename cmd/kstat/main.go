@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,8 @@ func main() {
 		simple   = flag.Bool("simple-names", false, "also start the Release 2 simplified name service")
 		pool     = flag.Int("pool", 1, "server threads per RPC server")
 		cache    = flag.Int("cache", 0, "file-server buffer cache size in sectors (0 = off)")
+		cpus     = flag.Int("cpus", 1, "number of processing engines (SMP complex when > 1)")
+		clients  = flag.Int("clients", 1, "concurrent copies of the workload (exercises the SMP dispatcher)")
 		wl       = flag.String("workload", "file1", "traffic source: file1, file2, gfx-low, gfx-med, gfx-high, pm-med, pm-high, none")
 		format   = flag.String("format", "text", "output: text, json, prom, top")
 		family   = flag.String("family", "", "restrict output to metrics with this name prefix")
@@ -57,6 +60,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.MemoryMB = *mem
+	cfg.CPUs = *cpus
 	cfg.SimpleNames = *simple
 	cfg.ServerPool = *pool
 	cfg.CacheSectors = *cache
@@ -101,8 +105,30 @@ func main() {
 	}
 
 	if haveRow {
-		_, err = workload.Run(row, s.WorkloadEnv())
-		check(err)
+		if *clients > 1 {
+			// Concurrent copies: each goroutine runs the full workload
+			// against its own processes; on an SMP boot the dispatcher
+			// spreads the resulting RPC bursts across the engines.
+			var wg sync.WaitGroup
+			errs := make(chan error, *clients)
+			for i := 0; i < *clients; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := workload.Run(row, s.WorkloadEnv()); err != nil {
+						errs <- err
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				check(err)
+			}
+		} else {
+			_, err = workload.Run(row, s.WorkloadEnv())
+			check(err)
+		}
 	}
 	var snap kstat.Snapshot
 	if *family != "" {
@@ -129,6 +155,9 @@ func main() {
 func top(s *core.System, c *monitor.Client, row workload.Row, iters int, interval time.Duration) {
 	_, baseline, err := c.Snapshot()
 	check(err)
+	// Per-engine cycle gauges are absolute; utilization needs the
+	// frame-to-frame delta, kept here across frames.
+	prevCyc := map[int]int64{}
 	for i := 0; i < iters; i++ {
 		start := time.Now()
 		res, err := workload.Run(row, s.WorkloadEnv())
@@ -137,14 +166,14 @@ func top(s *core.System, c *monitor.Client, row workload.Row, iters int, interva
 		check(err)
 		baseline = next
 		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
-		renderFrame(d, res, i+1, iters, time.Since(start))
+		renderFrame(d, res, i+1, iters, time.Since(start), prevCyc)
 		if i < iters-1 {
 			time.Sleep(interval)
 		}
 	}
 }
 
-func renderFrame(d kstat.Snapshot, res workload.Result, frame, iters int, wall time.Duration) {
+func renderFrame(d kstat.Snapshot, res workload.Result, frame, iters int, wall time.Duration, prevCyc map[int]int64) {
 	fmt.Printf("kstat top — %s  frame %d/%d  (%d modeled cycles, %v wall)\n\n",
 		res.Row, frame, iters, res.Cycles, wall.Round(time.Millisecond))
 
@@ -183,6 +212,32 @@ func renderFrame(d kstat.Snapshot, res workload.Result, frame, iters int, wall t
 				share = 100 * float64(r.calls) / float64(calls)
 			}
 			fmt.Printf("%-16s %10d %7.1f%%\n", r.name, r.calls, share)
+		}
+	}
+
+	// Engines: per-CPU share of the frame's modeled cycles plus dispatch
+	// traffic — present only on SMP boots (cpu.engines gauge).
+	if n, ok := d.Gauges["cpu.engines"]; ok && n > 0 {
+		deltas := make([]int64, n)
+		var total int64
+		for i := int64(0); i < n; i++ {
+			cur := d.Gauges[fmt.Sprintf("cpu.e%d.cycles", i)]
+			deltas[i] = cur - prevCyc[int(i)]
+			prevCyc[int(i)] = cur
+			total += deltas[i]
+		}
+		fmt.Printf("\n%-8s %14s %8s %6s %10s %10s %8s\n",
+			"ENGINE", "CYCLES", "UTIL", "RUNQ", "DISPATCH", "MIGRATE", "STEAL")
+		for i := int64(0); i < n; i++ {
+			util := 0.0
+			if total > 0 {
+				util = 100 * float64(deltas[i]) / float64(total)
+			}
+			fmt.Printf("e%-7d %14d %7.1f%% %6d %10d %10d %8d\n", i, deltas[i], util,
+				d.Gauges[fmt.Sprintf("cpu.e%d.runq", i)],
+				d.Counters[fmt.Sprintf("cpu.e%d.dispatches", i)],
+				d.Counters[fmt.Sprintf("cpu.e%d.migrations", i)],
+				d.Counters[fmt.Sprintf("cpu.e%d.steals", i)])
 		}
 	}
 

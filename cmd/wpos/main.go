@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N] [-cache SECTORS]
+//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N] [-cache SECTORS] [-cpus N]
 package main
 
 import (
@@ -24,10 +24,12 @@ func main() {
 	simple := flag.Bool("simple-names", false, "also start the Release 2 simplified name service")
 	pool := flag.Int("pool", 1, "server threads per RPC server (Release 2 multi-threaded servers when > 1)")
 	cache := flag.Int("cache", 0, "file-server buffer cache size in sectors (0 = off, the seed path)")
+	cpus := flag.Int("cpus", 1, "number of processing engines (SMP complex when > 1)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.MemoryMB = *mem
+	cfg.CPUs = *cpus
 	cfg.SimpleNames = *simple
 	cfg.ServerPool = *pool
 	cfg.CacheSectors = *cache
@@ -98,6 +100,14 @@ func main() {
 
 	c := s.Kernel.CPU.Counters()
 	fmt.Printf("\ncounters after the demo: %s\n", c)
+
+	if s.Kernel.NCPUs() > 1 {
+		fmt.Printf("\nengines (%d):\n", s.Kernel.NCPUs())
+		for _, st := range s.Kernel.SchedStats() {
+			fmt.Printf("  e%d: %12d cycles  %6d dispatches  %4d migrations  %4d steals\n",
+				st.Slot, st.Cycles, st.Dispatches, st.Migrations, st.Steals)
+		}
+	}
 }
 
 func check(err error) {

@@ -84,6 +84,11 @@ type ServerConfig struct {
 type Config struct {
 	CPU      cpu.Config
 	MemoryMB int
+	// CPUs is the number of processing engines.  0 or 1 boots the classic
+	// single-engine system — cycle-for-cycle identical to the seed
+	// reproduction; N > 1 boots an N-engine Complex with real processor
+	// sets and the SMP dispatcher.
+	CPUs int
 	IOConfig
 	ServerConfig
 	// Personalities to start: "os2", "posix", "mvm" (default all).
@@ -169,12 +174,22 @@ func Boot(cfg Config) (*System, error) {
 	log := func(f string, a ...any) { s.bootLog = append(s.bootLog, fmt.Sprintf(f, a...)) }
 
 	// 1. Microkernel (privileged state).
-	s.Kernel = mach.New(cfg.CPU)
+	ncpu := cfg.CPUs
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	s.Kernel = mach.NewSMP(cfg.CPU, ncpu)
 	layout := s.Kernel.Layout()
 	// Metrics fabric: attached before anything else runs, so boot itself
 	// is counted.  Observation hooks throughout the system find this set
 	// via kstat.For and never charge the cost model.
 	s.Stats = kstat.Attach(s.Kernel.CPU)
+	// On a multi-engine boot, seed the per-engine kstat families so every
+	// exposition lists all engines from the first frame.
+	s.Kernel.PublishCPUStats()
+	if ncpu > 1 {
+		log("smp: %d engines, processor sets, affinity dispatch with idle stealing", ncpu)
+	}
 	s.VM = vm.NewSystem(uint64(cfg.MemoryMB) << 20)
 	// VM fault observation for ktrace and kstat: the hooks fire only when
 	// an observer is attached to this kernel's engine and never charge

@@ -42,6 +42,14 @@ type Config struct {
 	SwitchCycles uint64
 	// PageSize in bytes; used by the TLB.
 	PageSize uint64
+	// MigrateCycles is the coherence cost charged on the destination
+	// engine when a thread resumes on a different engine than it last ran
+	// on: the inter-processor interrupt, the TLB-shootdown handshake and
+	// the burst of coherence misses pulling its working set across.
+	MigrateCycles uint64
+	// MigrateBus is the bus traffic of that cross-engine pull (dirty
+	// lines written back by the old engine, refetched by the new one).
+	MigrateBus uint64
 }
 
 // CacheConfig describes one cache.
@@ -71,6 +79,8 @@ func Pentium133() Config {
 		TLBMissBus:    2,
 		SwitchCycles:  120,
 		PageSize:      4096,
+		MigrateCycles: 450,
+		MigrateBus:    40,
 	}
 }
 
@@ -108,11 +118,14 @@ const (
 	// ProfStall is raw stall and uncached-overhead cycles (privilege
 	// transitions, interrupt latency, device service time).
 	ProfStall
+	// ProfMigrate is the coherence cost of a thread resuming on a
+	// different engine than it last ran on (cross-CPU migration).
+	ProfMigrate
 	// NumProfKinds is the number of stall kinds.
 	NumProfKinds
 )
 
-var profKindNames = [NumProfKinds]string{"base", "imiss", "dmiss", "tlb", "switch", "stall"}
+var profKindNames = [NumProfKinds]string{"base", "imiss", "dmiss", "tlb", "switch", "stall", "migrate"}
 
 func (k ProfKind) String() string {
 	if k < NumProfKinds {
@@ -321,6 +334,16 @@ type Engine struct {
 	// the attribution target for charges with no code footprint of their
 	// own (data traffic, stalls, switches).
 	curRegion string
+
+	// slot is this engine's index within a Complex (0 for a standalone
+	// engine).  cx is set only on slot 0 of a Complex — the router: a
+	// charge arriving there is forwarded to the engine the calling OS
+	// thread is bound to (see Complex.Bind), so the ~200 k.CPU charge
+	// sites across the system work unchanged on N engines.  Standalone
+	// engines (cx == nil) skip routing entirely, which is why CPUs=1
+	// stays bit-identical to the single-engine model.
+	slot int
+	cx   *Complex
 }
 
 // NewEngine creates a processor with cold caches.
@@ -336,23 +359,75 @@ func NewEngine(cfg Config) *Engine {
 // Config returns the processor configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Counters returns a snapshot of the performance counters.
+// Slot returns the engine's index within its Complex (0 standalone).
+func (e *Engine) Slot() int { return e.slot }
+
+// Complex returns the Complex this engine routes for, or nil for a
+// standalone (or non-router) engine.
+func (e *Engine) Complex() *Complex { return e.cx }
+
+// route resolves the engine a charge should land on: the engine bound to
+// the calling OS thread when e is the router of a Complex, e itself
+// otherwise.  It is called once at each public entry point, never
+// recursively — the engine it returns is used directly.
+func (e *Engine) route() *Engine {
+	if e.cx == nil {
+		return e
+	}
+	return e.cx.current()
+}
+
+// Counters returns a snapshot of the performance counters.  On the router
+// engine of a Complex this is the sum across all engines — a monotonic
+// virtual clock, so the many delta-based observation hooks keyed on the
+// boot engine keep working on N engines.  Use Complex.EngineCounters for
+// a single engine's view.
 func (e *Engine) Counters() Counters {
+	if e.cx != nil {
+		return e.cx.TotalCounters()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctr
+}
+
+// rawCounters reads this engine's own counters, bypassing routing.
+func (e *Engine) rawCounters() Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ctr
 }
 
 // Reset zeroes the counters without disturbing cache state, like resetting
-// hardware performance counters between measurement runs.
+// hardware performance counters between measurement runs.  On the router
+// engine of a Complex every engine is reset.
 func (e *Engine) Reset() {
+	if e.cx != nil {
+		for _, eng := range e.cx.engines {
+			eng.mu.Lock()
+			eng.ctr = Counters{}
+			eng.mu.Unlock()
+		}
+		return
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ctr = Counters{}
 }
 
-// ColdStart flushes caches and the TLB and zeroes counters.
+// ColdStart flushes caches and the TLB and zeroes counters; on the router
+// engine of a Complex every engine goes cold.
 func (e *Engine) ColdStart() {
+	if e.cx != nil {
+		for _, eng := range e.cx.engines {
+			eng.coldStartOne()
+		}
+		return
+	}
+	e.coldStartOne()
+}
+
+func (e *Engine) coldStartOne() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.icache.flush()
@@ -407,6 +482,7 @@ func (e *Engine) chargeTLB(addr uint64) {
 // Exec runs one traversal of a code region: its instructions retire at the
 // base CPI and every line of its text is fetched through the I-cache.
 func (e *Engine) Exec(r Region) {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.execLocked(r)
@@ -414,6 +490,7 @@ func (e *Engine) Exec(r Region) {
 
 // ExecN runs a region n times back to back.
 func (e *Engine) ExecN(r Region, n int) {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i := 0; i < n; i++ {
@@ -463,6 +540,7 @@ func (e *Engine) accessData(addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	end := addr + size
@@ -479,6 +557,7 @@ func (e *Engine) accessData(addr, size uint64) {
 // traffic on both the source and destination.  This is the "replaced
 // virtual with physical copy" path of the reworked RPC.
 func (e *Engine) Copy(src, dst, n uint64) {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.chargeInstr(8 + n/4)
@@ -502,6 +581,7 @@ func (e *Engine) Copy(src, dst, n uint64) {
 // subsequent accesses.  Switching to the current space is free (the paper's
 // RPC path always switches: client -> server -> client).
 func (e *Engine) SwitchAddressSpace(asid uint64) {
+	e = e.route()
 	e.mu.Lock()
 	if asid == e.asid {
 		e.mu.Unlock()
@@ -523,15 +603,17 @@ func (e *Engine) SwitchAddressSpace(asid uint64) {
 
 // SetSwitchObserver installs (or, with nil, removes) the address-space
 // switch observation hook.  The observer runs outside the engine lock and
-// must not charge costs.
+// must not charge costs.  Engine-local, never routed — see SetProfSink.
 func (e *Engine) SetSwitchObserver(fn func(asid uint64, ctr Counters)) {
 	e.mu.Lock()
 	e.switchObs = fn
 	e.mu.Unlock()
 }
 
-// ASID returns the currently loaded address-space identifier.
+// ASID returns the currently loaded address-space identifier (of the
+// calling thread's bound engine, under a Complex).
 func (e *Engine) ASID() uint64 {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.asid
@@ -540,6 +622,7 @@ func (e *Engine) ASID() uint64 {
 // Stall charges raw cycles with no instructions, modeling interrupt
 // latency, DMA wait or device service time.
 func (e *Engine) Stall(cycles uint64) {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ctr.Cycles += cycles
@@ -551,6 +634,7 @@ func (e *Engine) Stall(cycles uint64) {
 // Instr charges n instructions with no specific code footprint (for
 // straight-line computation inside an already-resident region).
 func (e *Engine) Instr(n uint64) {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.chargeInstr(n)
@@ -560,6 +644,7 @@ func (e *Engine) Instr(n uint64) {
 // modeling uncached accesses such as descriptor-table reads during a
 // privilege transition or device-register I/O.
 func (e *Engine) Overhead(cycles, bus uint64) {
+	e = e.route()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ctr.Cycles += cycles
@@ -569,9 +654,27 @@ func (e *Engine) Overhead(cycles, bus uint64) {
 	}
 }
 
+// Migrate charges the cross-engine migration cost: the destination pays
+// MigrateCycles/MigrateBus for the IPI, the TLB-shootdown handshake and
+// the coherence pull of the thread's working set.  The scheduler calls it
+// after binding, so under a Complex the charge lands on the destination
+// engine.
+func (e *Engine) Migrate() {
+	e = e.route()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctr.Cycles += e.cfg.MigrateCycles
+	e.ctr.BusCycles += e.cfg.MigrateBus
+	if e.prof != nil {
+		e.prof.ProfCharge(e.curRegion, ProfMigrate, e.cfg.MigrateCycles, e.cfg.MigrateBus, 0)
+	}
+}
+
 // SetProfSink installs (or, with nil, removes) the per-charge profiler
 // sink.  The sink runs under the engine lock and must not charge costs —
-// attaching one never changes modeled cycle counts.
+// attaching one never changes modeled cycle counts.  The hook is
+// engine-local (never routed): observers that want every engine of a
+// Complex install on each one (see kprof.Attach, ktrace.AttachSized).
 func (e *Engine) SetProfSink(s ProfSink) {
 	e.mu.Lock()
 	e.prof = s

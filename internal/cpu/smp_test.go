@@ -1,0 +1,161 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestComplexUnboundRoutesToSlot0: charges issued by a goroutine with no
+// binding land on engine 0, and the router's Counters() view sums every
+// engine.
+func TestComplexUnboundRoutesToSlot0(t *testing.T) {
+	cx := NewComplex(Pentium133(), 4)
+	r := cx.Router()
+	if r.Slot() != 0 || r.Complex() != cx {
+		t.Fatal("router must be slot 0 of its complex")
+	}
+	l := NewLayout(0)
+	reg := l.PlaceInstr("path", 100)
+	r.Exec(reg)
+	if got := cx.EngineCounters(0).Instructions; got != 100 {
+		t.Fatalf("engine 0 retired %d instructions, want 100", got)
+	}
+	for slot := 1; slot < 4; slot++ {
+		if c := cx.EngineCounters(slot); c.Cycles != 0 {
+			t.Fatalf("engine %d has %d cycles with nothing bound", slot, c.Cycles)
+		}
+	}
+	if sum, tot := cx.EngineCounters(0).Cycles, r.Counters().Cycles; sum != tot {
+		t.Fatalf("router view %d != engine sum %d", tot, sum)
+	}
+}
+
+// TestComplexBindRoutesCharges: a bound goroutine's charges land on its
+// engine; the binding nests (save/restore) and unbinding restores the
+// previous target.
+func TestComplexBindRoutesCharges(t *testing.T) {
+	cx := NewComplex(Pentium133(), 4)
+	r := cx.Router()
+	l := NewLayout(0)
+	reg := l.PlaceInstr("path", 100)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		undo2 := cx.Bind(cx.Engines()[2])
+		r.Exec(reg)
+		if got := r.CurrentSlot(); got != 2 {
+			t.Errorf("CurrentSlot = %d under a slot-2 binding", got)
+		}
+		// Nested binding: charges move to slot 1, then back after undo.
+		undo1 := cx.Bind(cx.Engines()[1])
+		r.Instr(10)
+		undo1()
+		r.Instr(7)
+		undo2()
+	}()
+	<-done
+	if got := cx.EngineCounters(2).Instructions; got != 107 {
+		t.Fatalf("engine 2 retired %d instructions, want 107", got)
+	}
+	if got := cx.EngineCounters(1).Instructions; got != 10 {
+		t.Fatalf("engine 1 retired %d instructions, want 10", got)
+	}
+	if got := cx.EngineCounters(0).Instructions; got != 0 {
+		t.Fatalf("engine 0 retired %d instructions, want 0", got)
+	}
+}
+
+// TestComplexMigrateCharges: Migrate pays the configured coherence cost
+// on the routed engine.
+func TestComplexMigrateCharges(t *testing.T) {
+	cfg := Pentium133()
+	cx := NewComplex(cfg, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		undo := cx.Bind(cx.Engines()[1])
+		cx.Router().Migrate()
+		undo()
+	}()
+	<-done
+	c := cx.EngineCounters(1)
+	if c.Cycles != cfg.MigrateCycles || c.BusCycles != cfg.MigrateBus {
+		t.Fatalf("migrate charged %d cycles / %d bus, want %d / %d",
+			c.Cycles, c.BusCycles, cfg.MigrateCycles, cfg.MigrateBus)
+	}
+	if cx.EngineCounters(0).Cycles != 0 {
+		t.Fatal("migrate leaked cycles onto engine 0")
+	}
+}
+
+// TestComplexSingleEngineEquivalence: a plain engine and an unbound
+// 4-engine complex charge identically for the same operation sequence —
+// the byte-identity obligation behind CPUs=1 defaulting to NewEngine.
+func TestComplexSingleEngineEquivalence(t *testing.T) {
+	cfg := Pentium133()
+	plain := NewEngine(cfg)
+	cx := NewComplex(cfg, 4)
+	l := NewLayout(0)
+	reg := l.PlaceInstr("path", 300)
+	drive := func(e *Engine) Counters {
+		e.Exec(reg)
+		e.Read(0x9000_0000, 4096)
+		e.SwitchAddressSpace(7)
+		e.Exec(reg)
+		e.Write(0x9000_2000, 512)
+		e.Stall(100)
+		return e.Counters()
+	}
+	a, b := drive(plain), drive(cx.Router())
+	if a != b {
+		t.Fatalf("unbound complex diverged from plain engine:\n  plain   %+v\n  complex %+v", a, b)
+	}
+}
+
+// TestComplexBindRace hammers the binding table and counters from many
+// goroutines at once; under -race this is the tier-2 gate for the
+// routing layer.  Afterward no cycles may be lost: per-engine sums must
+// equal the router's total view.
+func TestComplexBindRace(t *testing.T) {
+	cx := NewComplex(Pentium133(), 4)
+	r := cx.Router()
+	l := NewLayout(0)
+	regs := []Region{
+		l.PlaceInstr("a", 120), l.PlaceInstr("b", 80),
+		l.PlaceInstr("c", 200), l.PlaceInstr("d", 60),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				undo := cx.Bind(cx.Engines()[(g+i)%4])
+				r.Exec(regs[g%4])
+				r.Read(uint64(0x9000_0000+g*8192), 256)
+				if i%3 == 0 {
+					r.Migrate()
+				}
+				undo()
+			}
+		}()
+	}
+	// Concurrent readers of the aggregate views.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = r.Counters()
+			_ = cx.TotalCounters()
+		}
+	}()
+	wg.Wait()
+	var sum uint64
+	for slot := 0; slot < cx.Size(); slot++ {
+		sum += cx.EngineCounters(slot).Cycles
+	}
+	if tot := r.Counters().Cycles; tot != sum {
+		t.Fatalf("router total %d != per-engine sum %d", tot, sum)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package cpu
+
+import "syscall"
+
+// threadID identifies the calling OS thread.  Gettid is a vDSO-fast
+// syscall (~90ns here), paid once per public charge call on a routed
+// engine — never on a standalone engine.
+func threadID() int { return syscall.Gettid() }

@@ -145,9 +145,14 @@ func NewUserBlockDriver(k *mach.Kernel, layout *cpu.Layout, disk *Disk, hrm *ios
 		return nil, err
 	}
 
-	if _, err = d.task.ServePool("service", port, pool, d.handle); err != nil {
+	sp, err := d.task.ServePool("service", port, pool, d.handle)
+	if err != nil {
 		return nil, err
 	}
+	// The pool threads overlap driver-path CPU work, but a service burst
+	// is dominated by device time and there is only one disk arm: in
+	// modeled time the driver stays a serial resource.
+	sp.LimitVirtualServers(1)
 	return d, nil
 }
 

@@ -46,6 +46,7 @@ type cellKey struct {
 	ctx    string // joined context stack, ";"-separated, "" at top level
 	region string // code region the engine was executing
 	kind   cpu.ProfKind
+	engine int // engine slot the charge landed on (0 on single-CPU)
 }
 
 // cell accumulates the costs attributed to one key.
@@ -70,15 +71,21 @@ type Profiler struct {
 
 // ProfCharge implements cpu.ProfSink.  It runs under the engine lock at
 // every charge site; it must not call back into the engine and must not
-// charge costs.
+// charge costs.  On a Complex the Profiler itself is only installed on
+// slot 0; the other engines get slotSink wrappers so each charge carries
+// the slot it landed on.
 func (p *Profiler) ProfCharge(region string, kind cpu.ProfKind, cycles, bus, instr uint64) {
+	p.chargeSlot(0, region, kind, cycles, bus, instr)
+}
+
+func (p *Profiler) chargeSlot(slot int, region string, kind cpu.ProfKind, cycles, bus, instr uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.charges++
 	if !p.enabled {
 		return
 	}
-	k := cellKey{ctx: p.ctx, region: region, kind: kind}
+	k := cellKey{ctx: p.ctx, region: region, kind: kind, engine: slot}
 	c := p.cells[k]
 	if c == nil {
 		c = &cell{}
@@ -88,6 +95,17 @@ func (p *Profiler) ProfCharge(region string, kind cpu.ProfKind, cycles, bus, ins
 	c.bus += bus
 	c.instr += instr
 	c.count++
+}
+
+// slotSink is the per-engine ProfSink of a Complex: it forwards every
+// charge into the shared Profiler stamped with its engine slot.
+type slotSink struct {
+	p    *Profiler
+	slot int
+}
+
+func (s slotSink) ProfCharge(region string, kind cpu.ProfKind, cycles, bus, instr uint64) {
+	s.p.chargeSlot(s.slot, region, kind, cycles, bus, instr)
 }
 
 // Push enters a context frame ("rpc:vfs", "trap:thread_self",
@@ -172,6 +190,7 @@ func (p *Profiler) Snapshot() Profile {
 			Stack:  stack,
 			Region: k.region,
 			Kind:   k.kind.String(),
+			Engine: k.engine,
 			Cycles: c.cycles,
 			Bus:    c.bus,
 			Instr:  c.instr,
@@ -191,7 +210,10 @@ func (p *Profiler) Snapshot() Profile {
 		if a.Region != b.Region {
 			return a.Region < b.Region
 		}
-		return a.Kind < b.Kind
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Engine < b.Engine
 	})
 
 	if st := kstat.For(p.eng); st != nil {
@@ -215,8 +237,10 @@ var registry sync.Map
 
 // Attach creates a Profiler for the engine (or returns the existing one),
 // installs it as the engine's ProfSink, and registers it for the mach
-// context hooks.  The profiler starts disabled; call Enable to open an
-// attribution window.
+// context hooks.  On the router of a Complex the sink is installed on
+// every engine — slot 0 gets the Profiler itself, the rest slotSink
+// wrappers — so samples carry the engine the charge landed on.  The
+// profiler starts disabled; call Enable to open an attribution window.
 func Attach(eng *cpu.Engine) *Profiler {
 	if p := For(eng); p != nil {
 		return p
@@ -225,7 +249,17 @@ func Attach(eng *cpu.Engine) *Profiler {
 	actual, loaded := registry.LoadOrStore(eng, p)
 	p = actual.(*Profiler)
 	if !loaded {
-		eng.SetProfSink(p)
+		if cx := eng.Complex(); cx != nil {
+			for _, e := range cx.Engines() {
+				if e.Slot() == 0 {
+					e.SetProfSink(p)
+				} else {
+					e.SetProfSink(slotSink{p: p, slot: e.Slot()})
+				}
+			}
+		} else {
+			eng.SetProfSink(p)
+		}
 	}
 	return p
 }
@@ -233,7 +267,13 @@ func Attach(eng *cpu.Engine) *Profiler {
 // Detach removes the engine's profiler; charge sites revert to the nil
 // fast path and mach context pushes become no-ops.
 func Detach(eng *cpu.Engine) {
-	eng.SetProfSink(nil)
+	if cx := eng.Complex(); cx != nil {
+		for _, e := range cx.Engines() {
+			e.SetProfSink(nil)
+		}
+	} else {
+		eng.SetProfSink(nil)
+	}
 	registry.Delete(eng)
 }
 

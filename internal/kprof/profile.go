@@ -13,9 +13,10 @@ import (
 // Sample is one attribution bucket of a Profile: the costs that landed in
 // one (context stack, region, stall kind) key.
 type Sample struct {
-	Stack  []string `json:"stack,omitempty"` // context frames, outermost first
-	Region string   `json:"region"`          // code region ("" for stalls outside any region)
-	Kind   string   `json:"kind"`            // base, imiss, dmiss, tlb, switch, stall
+	Stack  []string `json:"stack,omitempty"`  // context frames, outermost first
+	Region string   `json:"region"`           // code region ("" for stalls outside any region)
+	Kind   string   `json:"kind"`             // base, imiss, dmiss, tlb, switch, stall, migrate
+	Engine int      `json:"engine,omitempty"` // engine slot (0 on single-CPU, omitted)
 	Cycles uint64   `json:"cycles"`
 	Bus    uint64   `json:"bus"`
 	Instr  uint64   `json:"instr"`
@@ -98,6 +99,14 @@ func (p Profile) ByRegion() []Agg {
 // ByKind rolls the profile up by stall kind, hottest first.
 func (p Profile) ByKind() []Agg {
 	return p.aggregate(func(s *Sample) string { return s.Kind })
+}
+
+// ByEngine rolls the profile up by the engine slot the charges landed
+// on, hottest first.  On single-CPU systems everything reports as "e0".
+func (p Profile) ByEngine() []Agg {
+	return p.aggregate(func(s *Sample) string {
+		return fmt.Sprintf("e%d", s.Engine)
+	})
 }
 
 // ByServer rolls the profile up by outermost context frame — the

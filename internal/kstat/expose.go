@@ -73,20 +73,61 @@ func promName(name string) string {
 	return b.String()
 }
 
+// engineFamily splits a per-engine cpu family name ("cpu.e<slot>.<rest>")
+// into its rest and slot; ok is false for every other family.
+func engineFamily(name string) (rest, slot string, ok bool) {
+	const pfx = "cpu.e"
+	if !strings.HasPrefix(name, pfx) {
+		return "", "", false
+	}
+	tail := name[len(pfx):]
+	dot := strings.IndexByte(tail, '.')
+	if dot <= 0 {
+		return "", "", false
+	}
+	slot = tail[:dot]
+	for _, r := range slot {
+		if r < '0' || r > '9' {
+			return "", "", false
+		}
+	}
+	return tail[dot+1:], slot, true
+}
+
+// promSeries maps a family name to its Prometheus metric name and label
+// set.  Per-engine cpu families fold into one labeled metric:
+// cpu.e1.migrations -> cpu_migrations{engine="1"}.  Everything else keeps
+// its sanitized name with no labels.
+func promSeries(name string) (metric, labels string) {
+	if rest, slot, ok := engineFamily(name); ok {
+		return promName("cpu." + rest), fmt.Sprintf(`{engine="%s"}`, slot)
+	}
+	return promName(name), ""
+}
+
 // WriteProm renders the snapshot in the Prometheus text exposition
 // format: counters as <name>_total, gauges plain, histograms as
 // cumulative <name>_bucket{le="..."} series plus _sum and _count.  Only
 // occupied buckets (and the mandatory +Inf) are emitted; the series stays
-// cumulative, so it parses as a standard histogram.
+// cumulative, so it parses as a standard histogram.  Per-engine cpu
+// families share one metric name with an engine label; the TYPE header is
+// emitted once per metric (engine series sort adjacently).
 func WriteProm(w io.Writer, s Snapshot) error {
 	names := make([]string, 0, len(s.Counters))
 	for k := range s.Counters {
 		names = append(names, k)
 	}
 	sort.Strings(names)
+	lastType := ""
 	for _, k := range names {
-		n := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", n, n, s.Counters[k]); err != nil {
+		n, lb := promSeries(k)
+		if n != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n", n); err != nil {
+				return err
+			}
+			lastType = n
+		}
+		if _, err := fmt.Fprintf(w, "%s_total%s %d\n", n, lb, s.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -95,9 +136,16 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		names = append(names, k)
 	}
 	sort.Strings(names)
+	lastType = ""
 	for _, k := range names {
-		n := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k]); err != nil {
+		n, lb := promSeries(k)
+		if n != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", n); err != nil {
+				return err
+			}
+			lastType = n
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", n, lb, s.Gauges[k]); err != nil {
 			return err
 		}
 	}

@@ -120,6 +120,9 @@ type Event struct {
 	Arg uint64
 	// Ctr is the engine's performance-counter snapshot at emit time.
 	Ctr cpu.Counters
+	// Engine is the engine slot the emitting thread's charges land on
+	// (always 0 on single-engine systems).
+	Engine int
 }
 
 // DefaultRingSize is the ring capacity used by Attach.
@@ -193,7 +196,7 @@ func (t *Tracer) Begin(typ EventType, subsystem, name string, parent SpanContext
 	t.put(Event{
 		Type: typ, Phase: PhaseBegin, Subsystem: subsystem, Name: name,
 		TraceID: traceID, SpanID: ctx.SpanID, ParentID: parent.SpanID,
-		Ctr: ctr,
+		Ctr: ctr, Engine: t.eng.CurrentSlot(),
 	})
 	t.mu.Unlock()
 	return Span{t: t, ctx: ctx, prev: parent, typ: typ, sub: subsystem, name: name}
@@ -217,7 +220,7 @@ func (s Span) End() {
 	t.put(Event{
 		Type: s.typ, Phase: PhaseEnd, Subsystem: s.sub, Name: s.name,
 		TraceID: s.ctx.TraceID, SpanID: s.ctx.SpanID, ParentID: s.prev.SpanID,
-		Ctr: ctr,
+		Ctr: ctr, Engine: t.eng.CurrentSlot(),
 	})
 	t.mu.Unlock()
 }
@@ -233,6 +236,7 @@ func (t *Tracer) Emit(typ EventType, subsystem, name string, ctx SpanContext, ar
 	t.put(Event{
 		Type: typ, Phase: PhaseInstant, Subsystem: subsystem, Name: name,
 		TraceID: ctx.TraceID, ParentID: ctx.SpanID, Arg: arg, Ctr: ctr,
+		Engine: t.eng.CurrentSlot(),
 	})
 	t.mu.Unlock()
 }
@@ -303,23 +307,35 @@ func Attach(eng *cpu.Engine) *Tracer {
 	return AttachSized(eng, DefaultRingSize)
 }
 
-// AttachSized is Attach with an explicit ring capacity.
+// AttachSized is Attach with an explicit ring capacity.  On the router
+// engine of a Complex the switch observer is installed on every engine,
+// each stamping its own slot, so cross-engine address-space traffic is
+// visible per CPU.
 func AttachSized(eng *cpu.Engine, capacity int) *Tracer {
 	t := NewTracer(eng, capacity)
 	registry.Store(eng, t)
-	eng.SetSwitchObserver(func(asid uint64, ctr cpu.Counters) {
-		t.mu.Lock()
-		var ctx SpanContext
-		if len(t.open) > 0 {
-			ctx = t.open[len(t.open)-1]
+	obs := func(slot int) func(asid uint64, ctr cpu.Counters) {
+		return func(asid uint64, ctr cpu.Counters) {
+			t.mu.Lock()
+			var ctx SpanContext
+			if len(t.open) > 0 {
+				ctx = t.open[len(t.open)-1]
+			}
+			t.put(Event{
+				Type: EvASSwitch, Phase: PhaseInstant, Subsystem: "cpu",
+				Name: "as_switch", TraceID: ctx.TraceID, ParentID: ctx.SpanID,
+				Arg: asid, Ctr: ctr, Engine: slot,
+			})
+			t.mu.Unlock()
 		}
-		t.put(Event{
-			Type: EvASSwitch, Phase: PhaseInstant, Subsystem: "cpu",
-			Name: "as_switch", TraceID: ctx.TraceID, ParentID: ctx.SpanID,
-			Arg: asid, Ctr: ctr,
-		})
-		t.mu.Unlock()
-	})
+	}
+	if cx := eng.Complex(); cx != nil {
+		for _, e := range cx.Engines() {
+			e.SetSwitchObserver(obs(e.Slot()))
+		}
+	} else {
+		eng.SetSwitchObserver(obs(eng.Slot()))
+	}
 	return t
 }
 
@@ -327,6 +343,12 @@ func AttachSized(eng *cpu.Engine, capacity int) *Tracer {
 // no-ops again.
 func Detach(eng *cpu.Engine) {
 	registry.Delete(eng)
+	if cx := eng.Complex(); cx != nil {
+		for _, e := range cx.Engines() {
+			e.SetSwitchObserver(nil)
+		}
+		return
+	}
 	eng.SetSwitchObserver(nil)
 }
 

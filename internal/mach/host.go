@@ -3,13 +3,18 @@ package mach
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/cpu"
 )
 
 // Host is the hosts-and-processor-sets component inherited from Mach 3.0:
 // a host owns processors grouped into processor sets, and tasks/threads
-// are assigned to a set for scheduling.  The simulation has one modeled
-// processor, but the control interfaces are complete so personality
-// servers and the boot path can use them.
+// are assigned to a set for scheduling.  Each Processor wraps one modeled
+// cpu.Engine; on a multi-engine kernel the scheduler dispatches a
+// thread's RPC bursts onto the engines of its task's processor set, so
+// moving processors between sets (AssignProcessor) genuinely partitions
+// the machine — a set holding one processor serializes everything
+// assigned to it.
 type Host struct {
 	kernel *Kernel
 
@@ -23,7 +28,14 @@ type Processor struct {
 	Slot    int
 	Running bool
 	set     *ProcessorSet
+	eng     *cpu.Engine
 }
+
+// Engine returns the modeled engine behind the processor.
+func (p *Processor) Engine() *cpu.Engine { return p.eng }
+
+// Set returns the processor set the processor currently belongs to.
+func (p *Processor) Set() *ProcessorSet { return p.set }
 
 // ProcessorSet groups processors and the tasks assigned to them.
 type ProcessorSet struct {
@@ -42,9 +54,11 @@ func newHost(k *Kernel) *Host {
 	h := &Host{kernel: k, psets: make(map[string]*ProcessorSet)}
 	def := &ProcessorSet{Name: DefaultPSet, assigned: make(map[TaskID]*Task), maxPri: 31}
 	h.psets[DefaultPSet] = def
-	p := &Processor{Slot: 0, Running: true, set: def}
-	h.procs = []*Processor{p}
-	def.procs = []*Processor{p}
+	for i, eng := range k.Engines() {
+		p := &Processor{Slot: i, Running: true, set: def, eng: eng}
+		h.procs = append(h.procs, p)
+		def.procs = append(def.procs, p)
+	}
 	return h
 }
 
@@ -78,6 +92,15 @@ func (h *Host) DefaultSet() *ProcessorSet {
 	return h.psets[DefaultPSet]
 }
 
+// Processors lists the host's processors, slot-ordered.
+func (h *Host) Processors() []*Processor {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Processor, len(h.procs))
+	copy(out, h.procs)
+	return out
+}
+
 // CreateSet creates a named processor set with no processors.
 func (h *Host) CreateSet(name string) (*ProcessorSet, error) {
 	h.mu.Lock()
@@ -88,6 +111,32 @@ func (h *Host) CreateSet(name string) (*ProcessorSet, error) {
 	ps := &ProcessorSet{Name: name, assigned: make(map[TaskID]*Task), maxPri: 31}
 	h.psets[name] = ps
 	return ps, nil
+}
+
+// AssignProcessor moves a processor into a set (processor_assign): it
+// leaves its current set — a processor belongs to exactly one — and
+// subsequent dispatches of the sets' tasks see the new partition.
+func (h *Host) AssignProcessor(p *Processor, ps *ProcessorSet) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := p.set
+	if old == ps {
+		return
+	}
+	if old != nil {
+		old.mu.Lock()
+		for i, q := range old.procs {
+			if q == p {
+				old.procs = append(old.procs[:i], old.procs[i+1:]...)
+				break
+			}
+		}
+		old.mu.Unlock()
+	}
+	ps.mu.Lock()
+	ps.procs = append(ps.procs, p)
+	ps.mu.Unlock()
+	p.set = ps
 }
 
 // Sets lists the processor sets.
@@ -101,18 +150,44 @@ func (h *Host) Sets() []*ProcessorSet {
 	return out
 }
 
-// AssignTask places a task in the set.
-func (ps *ProcessorSet) AssignTask(t *Task) {
+// Processors lists the set's processors.
+func (ps *ProcessorSet) Processors() []*Processor {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	ps.assigned[t.id] = t
+	out := make([]*Processor, len(ps.procs))
+	copy(out, ps.procs)
+	return out
 }
 
-// RemoveTask removes a task from the set.
-func (ps *ProcessorSet) RemoveTask(t *Task) {
+// engineSlots returns the engine slots of the set's processors.
+func (ps *ProcessorSet) engineSlots() []int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	out := make([]int, 0, len(ps.procs))
+	for _, p := range ps.procs {
+		if p.Running {
+			out = append(out, p.Slot)
+		}
+	}
+	return out
+}
+
+// AssignTask places a task in the set (task_assign); the task's threads
+// dispatch onto this set's processors from now on.
+func (ps *ProcessorSet) AssignTask(t *Task) {
+	ps.mu.Lock()
+	ps.assigned[t.id] = t
+	ps.mu.Unlock()
+	t.pset.Store(ps)
+}
+
+// RemoveTask removes a task from the set; its threads fall back to the
+// default set's processors.
+func (ps *ProcessorSet) RemoveTask(t *Task) {
+	ps.mu.Lock()
 	delete(ps.assigned, t.id)
+	ps.mu.Unlock()
+	t.pset.CompareAndSwap(ps, nil)
 }
 
 // TaskCount reports how many tasks are assigned to the set.

@@ -102,6 +102,13 @@ type Kernel struct {
 	paths  paths
 	tun    Tunables
 
+	// cx and sched are non-nil only on multi-engine kernels (NewSMP with
+	// ncpu > 1): cx owns the engines, sched places RPC bursts on them.
+	// Single-CPU kernels carry neither, so their charge paths are the
+	// exact pre-SMP ones.
+	cx    *cpu.Complex
+	sched *sched
+
 	mu         sync.Mutex
 	tasks      map[TaskID]*Task
 	nextTask   TaskID
@@ -112,19 +119,51 @@ type Kernel struct {
 	kernelTask *Task // asid 0, owns kernel-internal ports
 }
 
-// New creates a kernel on the given processor model.
-func New(cfg cpu.Config) *Kernel {
+// New creates a kernel on the given processor model with one engine.
+func New(cfg cpu.Config) *Kernel { return NewSMP(cfg, 1) }
+
+// NewSMP creates a kernel on ncpu engines of the given processor model.
+// With ncpu = 1 the kernel is identical to New's: a standalone engine,
+// no router, no scheduler.
+func NewSMP(cfg cpu.Config, ncpu int) *Kernel {
 	k := &Kernel{
-		CPU:      cpu.NewEngine(cfg),
 		layout:   cpu.NewLayout(0x00100000),
 		tun:      DefaultTunables(),
 		tasks:    make(map[TaskID]*Task),
 		nextTask: 1, nextThread: 1,
 	}
+	if ncpu > 1 {
+		k.cx = cpu.NewComplex(cfg, ncpu)
+		k.CPU = k.cx.Router()
+	} else {
+		k.CPU = cpu.NewEngine(cfg)
+	}
 	k.placePaths()
+	if k.cx != nil {
+		k.sched = newSched(k)
+	}
 	k.host = newHost(k)
 	k.kernelTask = k.newTaskLocked("kernel")
 	return k
+}
+
+// Complex returns the engine complex, or nil on a single-CPU kernel.
+func (k *Kernel) Complex() *cpu.Complex { return k.cx }
+
+// NCPUs reports the number of engines.
+func (k *Kernel) NCPUs() int {
+	if k.cx != nil {
+		return k.cx.Size()
+	}
+	return 1
+}
+
+// Engines returns the kernel's engines, slot-ordered.
+func (k *Kernel) Engines() []*cpu.Engine {
+	if k.cx != nil {
+		return k.cx.Engines()
+	}
+	return []*cpu.Engine{k.CPU}
 }
 
 // place lays out a region with the configured sparsity: instr instructions

@@ -30,6 +30,12 @@ type ServerPool struct {
 	threads []*Thread
 	ops     []atomic.Uint64
 
+	// vtp is the pool's virtual capacity on multi-engine kernels: its
+	// workers' bursts serialize on these interchangeable server slots
+	// (one per thread unless capped by LimitVirtualServers) rather than
+	// on each worker's own clock.
+	vtp *vtPool
+
 	// kstat family names, precomputed so the worker loop does no string
 	// concatenation per request.
 	busyFam, opsFam, workersFam string
@@ -64,7 +70,7 @@ func (t *Task) servePool(name string, n int, recv receiveFn, h func(PortName, *M
 	if n < 1 {
 		n = 1
 	}
-	p := &ServerPool{task: t, ops: make([]atomic.Uint64, n), threads: make([]*Thread, 0, n)}
+	p := &ServerPool{task: t, ops: make([]atomic.Uint64, n), threads: make([]*Thread, 0, n), vtp: newVTPool(n)}
 	fam := "mach.pool." + t.name + "/" + name
 	p.busyFam, p.opsFam, p.workersFam = fam+".busy", fam+".ops", fam+".workers"
 	if st := kstat.For(t.kernel.CPU); st != nil {
@@ -73,6 +79,7 @@ func (t *Task) servePool(name string, n int, recv receiveFn, h func(PortName, *M
 	for i := 0; i < n; i++ {
 		idx := i
 		th, err := t.Spawn(fmt.Sprintf("%s/%d", name, i), func(th *Thread) {
+			th.poolVT = p.vtp
 			p.worker(th, idx, recv, h)
 		})
 		if err != nil {
@@ -138,6 +145,14 @@ func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName
 
 // Size reports the number of worker threads.
 func (p *ServerPool) Size() int { return len(p.threads) }
+
+// LimitVirtualServers caps the pool's virtual capacity at n servers on
+// multi-engine kernels, regardless of thread count.  A pool fronting one
+// physical resource uses this to keep the resource serial in modeled
+// time — the block driver caps at 1 because its bursts are dominated by
+// device time and there is only one disk arm.  Call at boot, before the
+// pool sees traffic.
+func (p *ServerPool) LimitVirtualServers(n int) { p.vtp.setSize(n) }
 
 // Ops reports the total requests completed by the pool.
 func (p *ServerPool) Ops() uint64 {

@@ -76,6 +76,7 @@ type Port struct {
 type rpcOutcome struct {
 	m   *Message
 	err error
+	vt  uint64 // server's virtual completion time (0 on single-CPU)
 }
 
 // Exchange states.  Exactly one party moves the exchange out of exPending:

@@ -28,6 +28,11 @@ type PortSet struct {
 	// taken from a member port's rendezvous but no server thread has
 	// received yet.
 	pendFam string
+
+	// pool gives the set's server threads their virtual-time identity:
+	// one slot per receiving thread, bursts serialized on the
+	// earliest-free slot (see vtPool).
+	pool vtPool
 }
 
 type setDelivery struct {
@@ -199,6 +204,19 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 	case <-th.abort:
 		return nil, nil, NullName, ErrAborted
 	}
+	// One scheduled burst covers receive, handler and reply, as in
+	// RPCReceive; the release rides in the Responder.  The burst
+	// serializes on the pool's virtual capacity — not on th's own
+	// clock, since which worker goroutine won this rendezvous is a
+	// wall-clock accident — and cannot start before the client's send
+	// burst completed in modeled time.  A ServerPool worker carries its
+	// pool; a bare ServeSet thread registers on the set's own.
+	pool := th.poolVT
+	if pool == nil {
+		pool = &ps.pool
+		pool.ensure(th)
+	}
+	rel := k.schedRunPool(th, pool, d.ex.caller.vt.Load())
 	k.CPU.SwitchAddressSpace(th.task.asid)
 	k.CPU.Exec(k.paths.rpcReceive)
 	k.CPU.Exec(k.paths.rpcStubS)
@@ -211,7 +229,7 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 	d.ex.request.Seq = d.port.seqno
 	d.port.mu.Unlock()
 	k.rti()
-	return d.ex.request, &Responder{ex: d.ex, port: d.port, srv: th}, d.name, nil
+	return d.ex.request, &Responder{ex: d.ex, port: d.port, srv: th, release: rel}, d.name, nil
 }
 
 // ServeSet runs a combined server loop over the set: h also receives the

@@ -36,6 +36,12 @@ type Responder struct {
 	port *Port
 	srv  *Thread
 	done bool
+	// release ends the server burst the scheduler placed in RPCReceive;
+	// Reply runs it once the reply is delivered (nil on single-CPU
+	// kernels).  Carrying it here is what lets Serve, ServePool and every
+	// hand-rolled receive loop get scheduled without changing: the
+	// receive-handle-reply window is exactly one dispatched burst.
+	release func()
 }
 
 // CallOpts parameterizes one Call.  The zero value means "plain
@@ -140,6 +146,19 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 	if len(req.Body) > InlineMax {
 		return nil, ErrMsgTooLarge
 	}
+	// The send path up to the rendezvous is one scheduled burst; the
+	// resume after the reply is another, dispatched separately — that
+	// resume is where a migration can happen and be charged.  Both
+	// releases funnel through the deferred call, so error returns always
+	// end the current burst.  All of this is nil/no-op on single-CPU.
+	rel := k.schedRun(th)
+	release := func() {
+		if rel != nil {
+			rel()
+			rel = nil
+		}
+	}
+	defer release()
 	var sp ktrace.Span
 	if t := ktrace.For(k.CPU); t != nil {
 		sp = t.Begin(ktrace.EvRPC, "mach.rpc", fmt.Sprintf("rpc:%#04x", uint32(req.ID)), req.trace)
@@ -184,6 +203,9 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 		caller:  th,
 	}
 
+	// The client blocks for the rendezvous: its burst ends here.
+	release()
+
 	select {
 	case port.rpc <- ex:
 	case <-port.rpcClosed():
@@ -217,6 +239,13 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 	}
 
 	// Client resumes: switch back to its space and return to user mode.
+	// A fresh dispatch — the thread prefers its last engine but may be
+	// stolen to an idle one, paying the migration charge there.  The
+	// resume cannot start before the reply existed in modeled time: the
+	// server's virtual completion time rides in the outcome, and waiting
+	// for it here is what couples client progress to server occupancy.
+	k.schedReady(th, out.vt)
+	rel = k.schedRun(th)
 	k.CPU.SwitchAddressSpace(th.task.asid)
 	k.CPU.Exec(k.paths.schedule)
 	k.rti()
@@ -248,7 +277,19 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 	}
 
 	// The server side of the hand-off: load the server's address space,
-	// run the receive return path and the simplified server stub.
+	// run the receive return path and the simplified server stub.  The
+	// burst dispatched here covers receive, handler and reply — its
+	// release travels in the Responder, and it cannot start before the
+	// client's send burst completed in modeled time.  Pool workers
+	// serialize on the pool's virtual capacity, not on their own clock
+	// (which worker won the rendezvous is a wall-clock accident).
+	var rel func()
+	if th.poolVT != nil {
+		rel = k.schedRunPool(th, th.poolVT, ex.caller.vt.Load())
+	} else {
+		k.schedReady(th, ex.caller.vt.Load())
+		rel = k.schedRun(th)
+	}
 	k.CPU.SwitchAddressSpace(th.task.asid)
 	k.CPU.Exec(k.paths.rpcReceive)
 	k.CPU.Exec(k.paths.rpcStubS)
@@ -261,7 +302,7 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 	ex.request.Seq = port.seqno
 	port.mu.Unlock()
 	k.rti()
-	return ex.request, &Responder{ex: ex, port: port, srv: th}, nil
+	return ex.request, &Responder{ex: ex, port: port, srv: th, release: rel}, nil
 }
 
 // Reply completes the RPC, copying the reply body back with a single
@@ -274,6 +315,12 @@ func (r *Responder) Reply(reply *Message) error {
 		return ErrNoReplyExpected
 	}
 	r.done = true
+	defer func() {
+		if r.release != nil {
+			r.release()
+			r.release = nil
+		}
+	}()
 	k := r.srv.task.kernel
 	if reply == nil {
 		reply = &Message{}
@@ -304,7 +351,14 @@ func (r *Responder) Reply(reply *Message) error {
 		if len(delivered.Rights) > 0 {
 			r.ex.caller.task.acceptRights(delivered)
 		}
-		r.ex.reply <- rpcOutcome{m: delivered}
+		// End the server burst before waking the client, so the outcome
+		// carries the handler's virtual completion time and the client's
+		// resume starts after it in modeled time.
+		if r.release != nil {
+			r.release()
+			r.release = nil
+		}
+		r.ex.reply <- rpcOutcome{m: delivered, vt: r.srv.vt.Load()}
 	}
 	return nil
 }

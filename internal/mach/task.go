@@ -3,6 +3,7 @@ package mach
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/kprof"
@@ -34,6 +35,11 @@ type Task struct {
 	// keeping the layering of the real system where VM is a separate
 	// component.
 	AS any
+
+	// pset is the processor set the task is assigned to; nil means the
+	// default set.  The scheduler dispatches the task's threads onto
+	// this set's engines.
+	pset atomic.Pointer[ProcessorSet]
 }
 
 // NewTask creates a task.  It charges the task-creation path.
@@ -150,6 +156,61 @@ type Thread struct {
 	selfPort *Port
 	selfName PortName
 	abort    chan struct{}
+
+	// lastEng is the engine this thread's previous burst ran on — the
+	// scheduler's affinity hint, and the reference that makes a resume
+	// elsewhere a migration.  schedCycles accumulates the engine cycle
+	// deltas observed across the thread's bursts (approximate when
+	// bursts share an engine; exact when they don't).
+	lastEng     atomic.Pointer[cpu.Engine]
+	schedCycles atomic.Uint64
+
+	// vt is the thread's virtual clock: the modeled time its last burst
+	// completed.  The scheduler starts each burst at max(engine clock,
+	// thread clock), and RPC replies carry the server's completion time
+	// into the blocked client via syncVT — which is how client-blocks-
+	// on-server shows up in the modeled makespan.
+	vt atomic.Uint64
+
+	// poolVT, when set (by ServerPool before the worker loop starts),
+	// marks this thread as an interchangeable pool worker: its server
+	// bursts serialize on the pool's virtual capacity instead of on the
+	// thread's own clock.  Written once on the worker's own goroutine
+	// before its first receive, read only by that goroutine.
+	poolVT *vtPool
+}
+
+// syncVT advances the thread's virtual clock to at least v: the thread
+// cannot run its next burst before the event it was blocked on (an RPC
+// reply, a request arrival) completed in modeled time.
+func (th *Thread) syncVT(v uint64) {
+	for {
+		cur := th.vt.Load()
+		if v <= cur || th.vt.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// SchedCycles reports the cycles the scheduler has observed across this
+// thread's dispatched bursts (0 on single-CPU kernels, where nothing is
+// dispatched).
+func (th *Thread) SchedCycles() uint64 { return th.schedCycles.Load() }
+
+// VT reports the thread's virtual clock: the modeled time its last burst
+// completed (0 on single-CPU kernels).
+func (th *Thread) VT() uint64 { return th.vt.Load() }
+
+// ThreadsSnapshot returns the task's live threads at this instant, for
+// tools and tests.
+func (t *Task) ThreadsSnapshot() []*Thread {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Thread, 0, len(t.threads))
+	for _, th := range t.threads {
+		out = append(out, th)
+	}
+	return out
 }
 
 // Spawn creates a thread in the task running fn on its own goroutine.

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Benchmark gate: regenerate Table 1 and compare each WPOS/native ratio
+# against the committed baseline (BENCH_baseline.json); any ratio more
+# than 5% above its baseline fails the build.  Regenerate the baseline
+# with `go run ./cmd/benchtables -json BENCH_baseline.json` after a
+# deliberate cost-model change, together with the seed pins in
+# cache_test.go / smp_test.go.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchtables -only 1 -gate BENCH_baseline.json

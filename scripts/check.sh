@@ -6,7 +6,9 @@
 # serve pooled multi-threaded RPC with shared bookkeeping hammered by their
 # pool tests; the monitor serves pooled snapshot queries over that RPC;
 # bcache is hit by every file-server pool thread at once; kprof's charge
-# sink and context stack are driven from every charging thread at once).
+# sink and context stack are driven from every charging thread at once;
+# cpu's Complex routes every charge through a per-OS-thread binding table
+# while the SMP dispatcher binds/steals from many goroutines at once).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -14,4 +16,4 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
+go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...

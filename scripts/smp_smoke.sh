@@ -1,0 +1,33 @@
+#!/bin/sh
+# SMP smoke: boot a 4-engine system, drive concurrent copies of the file
+# workload, and verify through the monitor server's RPC (cmd/kstat is a
+# monitor client) that the dispatcher really ran the machine as an SMP:
+# every engine consumed cycles and cross-engine migrations happened.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go run ./cmd/kstat -cpus 4 -clients 8 -workload file1 -format text -family cpu.)
+echo "$out"
+echo
+
+test "$(echo "$out" | awk '$1 == "cpu.engines" {print $2}')" = 4 || {
+	echo "smp smoke: cpu.engines gauge is not 4" >&2
+	exit 1
+}
+
+for e in 0 1 2 3; do
+	cyc=$(echo "$out" | awk -v f="cpu.e$e.cycles" '$1 == f {print $2}')
+	if [ -z "$cyc" ] || [ "$cyc" -le 0 ]; then
+		echo "smp smoke: engine $e consumed no cycles" >&2
+		exit 1
+	fi
+done
+
+mig=$(echo "$out" | awk '$1 ~ /^cpu\.e[0-9]+\.migrations$/ {s += $2} END {print s + 0}')
+if [ "$mig" -le 0 ]; then
+	echo "smp smoke: no cross-engine migrations recorded" >&2
+	exit 1
+fi
+
+echo "smp smoke ok: 4 engines busy, $mig migrations, queried over the monitor's RPC"
