@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check tables stats profile benchgate smp
+.PHONY: all build test check tables stats profile benchgate smp chaos
 
 all: build test
 
@@ -40,3 +40,10 @@ benchgate:
 # nonzero per-engine cycles and migrations through the monitor's RPC.
 smp:
 	sh scripts/smp_smoke.sh
+
+# Chaos short soak: one fixed seed driving mixed OS/2 + POSIX + MVM + RPC
+# traffic through all six fault kinds with the invariant oracle on (~30s).
+# A failure prints the exact -chaos.seed/-chaos.actions flags to replay it
+# deterministically; see internal/chaos and EXPERIMENTS.md (E-CHAOS).
+chaos:
+	$(GO) test ./internal/chaos -run 'TestChaosSoak|TestChaosSingleCPU|TestChaosDeterministic' -short -v

@@ -389,14 +389,22 @@ func (c *Cache) evictOne() error {
 // dropRange invalidates cached sectors in [sector, sector+n) — used when
 // an unaligned write bypasses the cache so stale data cannot be served.
 func (c *Cache) dropRange(sector, n uint64) {
+	dropped := false
 	for i := uint64(0); i < n; i++ {
 		if b := c.blocks[sector+i]; b != nil {
 			if b.dirty {
 				c.removeFromDirtyQ([]uint64{b.sector})
+				dropped = true
 			}
 			c.lru.Remove(b.elem)
 			delete(c.blocks, sector+i)
 		}
+	}
+	if dropped {
+		// Dirty sectors left the write-behind list without a writeback;
+		// refresh the bcache.dirty gauge or it reads stale-high until the
+		// next cached operation happens to account.
+		c.account(0, 0, 0, 0)
 	}
 }
 

@@ -275,3 +275,139 @@ func TestMetricsExposition(t *testing.T) {
 		t.Errorf("bcache.dirty = %d after Sync, want 0", g)
 	}
 }
+
+// Satellite regression (chaos soak): a flush that fails partway, heals,
+// and retries must account each dirty sector's writeback exactly once —
+// sectors flushed before the fault must not be re-written (and re-counted)
+// by the retry, and the published dirty gauge must converge to zero with
+// the queue.
+func TestFlushFailHealRetryAccountsWritebackOnce(t *testing.T) {
+	disk := vfs.NewRAMDisk(256)
+	fd := vfs.NewFaultyDev(disk)
+	c, eng := newCache(t, fd, bcache.Config{CapacitySectors: 64})
+	st := kstat.Attach(eng)
+	defer kstat.Detach(eng)
+
+	// Six non-contiguous dirty sectors: six distinct writeback runs.
+	sectors := []uint64{2, 4, 6, 8, 10, 12}
+	for i, s := range sectors {
+		if err := c.WriteSectors(s, sectorData(byte('a'+i))); err != nil {
+			t.Fatalf("WriteSectors(%d): %v", s, err)
+		}
+	}
+	if d := c.Dirty(); d != len(sectors) {
+		t.Fatalf("dirty = %d, want %d", d, len(sectors))
+	}
+	wb0 := st.Snapshot().Counters["bcache.writeback"]
+
+	// Two writes succeed, then the device fails.
+	fd.FailAfter(2, false, true)
+	if err := c.Sync(); err == nil {
+		t.Fatal("Sync on faulty device succeeded")
+	}
+	midWB := st.Snapshot().Counters["bcache.writeback"] - wb0
+	if midWB != 2 {
+		t.Fatalf("writeback after partial flush = %d, want 2", midWB)
+	}
+	if d := c.Dirty(); d != len(sectors)-2 {
+		t.Fatalf("dirty after partial flush = %d, want %d", d, len(sectors)-2)
+	}
+	if g := st.Snapshot().Gauges["bcache.dirty"]; g != int64(c.Dirty()) {
+		t.Fatalf("dirty gauge = %d, Dirty() = %d", g, c.Dirty())
+	}
+
+	// Heal and retry: only the four survivors are written, never the two
+	// already flushed.
+	fd.Heal()
+	if err := c.Sync(); err != nil {
+		t.Fatalf("Sync after heal: %v", err)
+	}
+	total := st.Snapshot().Counters["bcache.writeback"] - wb0
+	if total != uint64(len(sectors)) {
+		t.Fatalf("total writeback = %d, want %d (double-counted retry?)", total, len(sectors))
+	}
+	if d := c.Dirty(); d != 0 {
+		t.Fatalf("dirty after heal+sync = %d, want 0", d)
+	}
+	if g := st.Snapshot().Gauges["bcache.dirty"]; g != 0 {
+		t.Fatalf("dirty gauge after heal+sync = %d, want 0", g)
+	}
+	for i, s := range sectors {
+		got := make([]byte, ss)
+		if err := disk.ReadSectors(s, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, sectorData(byte('a'+i))) {
+			t.Fatalf("sector %d content lost across fail/heal/retry", s)
+		}
+	}
+}
+
+// looseDev accepts partial-sector writes the way a real driver does —
+// read-modify-write on the trailing sector — so tests can exercise the
+// cache's unaligned bypass path over a RAMDisk (which itself insists on
+// whole sectors).
+type looseDev struct{ *vfs.RAMDisk }
+
+func (d looseDev) WriteSectors(sector uint64, data []byte) error {
+	n := len(data) / ss
+	if len(data)%ss == 0 {
+		return d.RAMDisk.WriteSectors(sector, data)
+	}
+	if n > 0 {
+		if err := d.RAMDisk.WriteSectors(sector, data[:n*ss]); err != nil {
+			return err
+		}
+	}
+	tail := make([]byte, ss)
+	if err := d.RAMDisk.ReadSectors(sector+uint64(n), tail); err != nil {
+		return err
+	}
+	copy(tail, data[n*ss:])
+	return d.RAMDisk.WriteSectors(sector+uint64(n), tail)
+}
+
+// Satellite regression (chaos soak): an unaligned write invalidates its
+// covered cached sectors (dropRange) and goes straight to the device; when
+// the dropped sectors were dirty, the published bcache.dirty gauge must
+// track the shortened queue immediately, not read stale-high until the
+// next flush.
+func TestUnalignedWriteRefreshesDirtyGauge(t *testing.T) {
+	disk := looseDev{vfs.NewRAMDisk(256)}
+	c, eng := newCache(t, disk, bcache.Config{CapacitySectors: 64})
+	st := kstat.Attach(eng)
+	defer kstat.Detach(eng)
+
+	if err := c.WriteSectors(3, sectorData('x')); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSectors(4, sectorData('y')); err != nil {
+		t.Fatal(err)
+	}
+	if g := st.Snapshot().Gauges["bcache.dirty"]; g != 2 {
+		t.Fatalf("dirty gauge = %d, want 2", g)
+	}
+
+	// ss+100 bytes at sector 3: covers sectors 3 and 4, not a whole
+	// number of sectors, so both cached dirty copies are dropped and the
+	// write bypasses the cache.
+	if err := c.WriteSectors(3, bytes.Repeat([]byte{'z'}, ss+100)); err != nil {
+		t.Fatalf("unaligned WriteSectors: %v", err)
+	}
+	if d := c.Dirty(); d != 0 {
+		t.Fatalf("Dirty() after dropRange = %d, want 0", d)
+	}
+	if g := st.Snapshot().Gauges["bcache.dirty"]; g != 0 {
+		t.Fatalf("dirty gauge after dropRange = %d, want 0 (stale gauge)", g)
+	}
+	if c.Cached(3) || c.Cached(4) {
+		t.Fatal("dropped sectors still cached")
+	}
+	got := make([]byte, ss)
+	if err := disk.ReadSectors(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sectorData('z')) {
+		t.Fatal("unaligned write did not reach the device")
+	}
+}

@@ -1,0 +1,690 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mach"
+	"repro/internal/mvm"
+	"repro/internal/os2"
+	"repro/internal/posix"
+)
+
+// The traffic workers.  Each owns a deterministic rng (seeded from the run
+// seed and its id) and a set of files it alone mutates, so a read-back
+// mismatch on a file whose last write was acknowledged is unambiguously a
+// lost write — invariant 2's oracle.
+//
+// Taint semantics: the file servers run write-behind, so an errored write
+// may have been partially applied before the error surfaced.  A file whose
+// last mutation errored is "tainted": the oracle only requires it to be
+// readable, not to match.  The next fully-acknowledged rewrite clears the
+// taint and re-arms the exact check.
+
+// shadowFile is the oracle's model of one worker-owned file.
+type shadowFile struct {
+	path  string
+	size  int
+	known []byte // content of the last fully acknowledged rewrite
+	taint bool   // last mutation errored; content is indeterminate
+}
+
+// stamp fills buf with a diagnosable deterministic pattern: an op serial
+// in the first 8 bytes, a file-identity tag in the next 8, seeded noise
+// after — so a mismatch report can say whose bytes actually came back.
+func stamp(rng *rand.Rand, buf []byte, serial, tag uint64) {
+	binary.LittleEndian.PutUint64(buf, serial)
+	if len(buf) >= 16 {
+		binary.LittleEndian.PutUint64(buf[8:], tag)
+	}
+	for i := 16; i < len(buf); i++ {
+		buf[i] = byte(rng.Intn(256))
+	}
+}
+
+// pathTag hashes a path into the stamp's identity field.
+func pathTag(path string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * 1099511628211
+	}
+	return h
+}
+
+// describeStamp decodes a read-back buffer's stamp for mismatch reports.
+func describeStamp(got, want []byte) string {
+	if len(got) < 16 || len(want) < 16 {
+		return fmt.Sprintf("first diff at %d", firstDiff(got, want))
+	}
+	return fmt.Sprintf("got serial=%d tag=%#x, want serial=%d tag=%#x, first diff at %d",
+		binary.LittleEndian.Uint64(got), binary.LittleEndian.Uint64(got[8:]),
+		binary.LittleEndian.Uint64(want), binary.LittleEndian.Uint64(want[8:]),
+		firstDiff(got, want))
+}
+
+func wrng(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + int64(id)))
+}
+
+// ---------------------------------------------------------------- OS/2 --
+
+type os2Worker struct {
+	id     int
+	h      *harness
+	rng    *rand.Rand
+	p      *os2.Process
+	files  []*shadowFile
+	serial uint64
+}
+
+func newOS2Worker(id int) *os2Worker { return &os2Worker{id: id} }
+
+func (w *os2Worker) name() string { return fmt.Sprintf("os2-%d", w.id) }
+
+func (w *os2Worker) setup(h *harness) error {
+	w.h, w.rng = h, wrng(h.cfg.Seed, w.id)
+	p, err := h.sys.OS2.CreateProcess(fmt.Sprintf("chaos-os2-%d", w.id))
+	if err != nil {
+		return err
+	}
+	w.p = p
+	for j := 0; j < 4; j++ {
+		f := &shadowFile{
+			path: fmt.Sprintf("/chaos/o%d_%d.dat", w.id, j),
+			size: 256 + 128*j,
+		}
+		w.files = append(w.files, f)
+		// Initial population happens before any fault is armed, so a
+		// failure here is a harness error, not a taint.
+		if err := w.rewrite(f); err != nil {
+			return err
+		}
+		if f.taint {
+			return fmt.Errorf("initial rewrite of %s errored with no fault armed", f.path)
+		}
+	}
+	return nil
+}
+
+// rewrite replaces f's content in full: open(create) + write + close.  The
+// write is acknowledged only when every step succeeds — then the shadow
+// copy becomes the new expected content.  Any error taints the file.
+func (w *os2Worker) rewrite(f *shadowFile) error {
+	w.serial++
+	buf := make([]byte, f.size)
+	stamp(w.rng, buf, w.serial, pathTag(f.path))
+	h, e := w.p.DosOpen(f.path, true, true)
+	if e != os2.NoError {
+		w.h.opErrs.Add(1)
+		f.taint = true
+		return nil
+	}
+	n, e := w.p.DosWrite(h, buf)
+	ce := w.p.DosClose(h)
+	if e != os2.NoError || n != f.size || ce != os2.NoError {
+		w.h.opErrs.Add(1)
+		f.taint = true
+		return nil
+	}
+	f.known, f.taint = buf, false
+	return nil
+}
+
+// readVerify reads f back in full and, when untainted, requires an exact
+// match against the last acknowledged content.
+func (w *os2Worker) readVerify(f *shadowFile) error {
+	h, e := w.p.DosOpen(f.path, false, false)
+	if e != os2.NoError {
+		w.h.opErrs.Add(1)
+		if !f.taint {
+			return fmt.Errorf("lost file: %s acknowledged but open failed: %v", f.path, e)
+		}
+		return nil
+	}
+	defer w.p.DosClose(h)
+	got := make([]byte, 0, f.size)
+	tmp := make([]byte, f.size)
+	for len(got) < f.size {
+		n, e := w.p.DosRead(h, tmp[:f.size-len(got)])
+		if e != os2.NoError {
+			w.h.opErrs.Add(1)
+			if !f.taint {
+				return fmt.Errorf("lost data: %s read failed mid-file: %v", f.path, e)
+			}
+			return nil
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, tmp[:n]...)
+	}
+	if f.taint {
+		return nil
+	}
+	if !bytes.Equal(got, f.known) {
+		if debugDump != nil {
+			debugDump(got, f.known)
+		}
+		return fmt.Errorf("lost write: %s acknowledged %d bytes, read back %d (%s)",
+			f.path, len(f.known), len(got), describeStamp(got, f.known))
+	}
+	return nil
+}
+
+func (w *os2Worker) op() error {
+	f := w.files[w.rng.Intn(len(w.files))]
+	switch r := w.rng.Intn(100); {
+	case r < 35:
+		return w.rewrite(f)
+	case r < 75:
+		return w.readVerify(f)
+	case r < 90:
+		// Stat oracle: an untainted file's size is exactly what was
+		// acknowledged.
+		a, e := w.p.DosQueryPathInfo(f.path)
+		if e != os2.NoError {
+			w.h.opErrs.Add(1)
+			if !f.taint {
+				return fmt.Errorf("lost file: %s acknowledged but stat failed: %v", f.path, e)
+			}
+			return nil
+		}
+		if !f.taint && a.Size != int64(f.size) {
+			return fmt.Errorf("lost write: %s acknowledged size %d, stat says %d", f.path, f.size, a.Size)
+		}
+		return nil
+	default:
+		// Delete + recreate: the hostile path for the cache's
+		// invalidation accounting.
+		if e := w.p.DosDelete(f.path); e != os2.NoError {
+			w.h.opErrs.Add(1)
+			f.taint = true
+		} else {
+			f.known, f.taint = nil, true // gone until the rewrite lands
+		}
+		return w.rewrite(f)
+	}
+}
+
+func (w *os2Worker) verify() (clean, tainted int, err error) {
+	for _, f := range w.files {
+		// The device is healed by now, so one clean rewrite must land —
+		// the fail/heal/retry convergence the cache retry path promises.
+		// That clears the taint and re-arms the exact check.
+		if f.taint {
+			if err := w.rewrite(f); err != nil {
+				return clean, tainted, err
+			}
+			if f.taint {
+				return clean, tainted, fmt.Errorf("no recovery: rewrite of %s still failing after heal", f.path)
+			}
+		}
+		if err := w.readVerify(f); err != nil {
+			return clean, tainted, err
+		}
+		if f.taint {
+			tainted++
+		} else {
+			clean++
+		}
+	}
+	return clean, tainted, nil
+}
+
+// --------------------------------------------------------------- POSIX --
+
+type posixWorker struct {
+	id     int
+	h      *harness
+	rng    *rand.Rand
+	p      *posix.Process
+	files  []*shadowFile
+	dir    string
+	serial uint64
+}
+
+func newPosixWorker(id int) *posixWorker { return &posixWorker{id: id} }
+
+func (w *posixWorker) name() string { return fmt.Sprintf("posix-%d", w.id) }
+
+func (w *posixWorker) setup(h *harness) error {
+	w.h, w.rng = h, wrng(h.cfg.Seed, w.id)
+	p, err := h.sys.POSIX.Spawn(fmt.Sprintf("chaos-posix-%d", w.id))
+	if err != nil {
+		return err
+	}
+	w.p = p
+	w.dir = fmt.Sprintf("/chaos/p%d", w.id)
+	if e := p.Mkdir(w.dir); e != posix.OK {
+		return fmt.Errorf("mkdir %s: %v", w.dir, e)
+	}
+	for j := 0; j < 4; j++ {
+		f := &shadowFile{
+			path: fmt.Sprintf("%s/f%d.dat", w.dir, j),
+			size: 192 + 96*j,
+		}
+		w.files = append(w.files, f)
+		if err := w.rewrite(f); err != nil {
+			return err
+		}
+		if f.taint {
+			return fmt.Errorf("initial rewrite of %s errored with no fault armed", f.path)
+		}
+	}
+	return nil
+}
+
+func (w *posixWorker) rewrite(f *shadowFile) error {
+	w.serial++
+	buf := make([]byte, f.size)
+	stamp(w.rng, buf, w.serial, pathTag(f.path))
+	fd, e := w.p.Open(f.path, posix.OWronly|posix.OCreat)
+	if e != posix.OK {
+		w.h.opErrs.Add(1)
+		f.taint = true
+		return nil
+	}
+	n, e := w.p.Write(fd, buf)
+	ce := w.p.Close(fd)
+	if e != posix.OK || n != f.size || ce != posix.OK {
+		w.h.opErrs.Add(1)
+		f.taint = true
+		return nil
+	}
+	f.known, f.taint = buf, false
+	return nil
+}
+
+func (w *posixWorker) readVerify(f *shadowFile) error {
+	fd, e := w.p.Open(f.path, posix.ORdonly)
+	if e != posix.OK {
+		w.h.opErrs.Add(1)
+		if !f.taint {
+			return fmt.Errorf("lost file: %s acknowledged but open failed: %v", f.path, e)
+		}
+		return nil
+	}
+	defer w.p.Close(fd)
+	got := make([]byte, 0, f.size)
+	tmp := make([]byte, f.size)
+	for len(got) < f.size {
+		n, e := w.p.Read(fd, tmp[:f.size-len(got)])
+		if e != posix.OK {
+			w.h.opErrs.Add(1)
+			if !f.taint {
+				return fmt.Errorf("lost data: %s read failed mid-file: %v", f.path, e)
+			}
+			return nil
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, tmp[:n]...)
+	}
+	if f.taint {
+		return nil
+	}
+	if !bytes.Equal(got, f.known) {
+		if debugDump != nil {
+			debugDump(got, f.known)
+		}
+		return fmt.Errorf("lost write: %s acknowledged %d bytes, read back %d (%s)",
+			f.path, len(f.known), len(got), describeStamp(got, f.known))
+	}
+	return nil
+}
+
+func (w *posixWorker) op() error {
+	f := w.files[w.rng.Intn(len(w.files))]
+	switch r := w.rng.Intn(100); {
+	case r < 35:
+		return w.rewrite(f)
+	case r < 70:
+		return w.readVerify(f)
+	case r < 80:
+		if _, e := w.p.Readdir(w.dir); e != posix.OK {
+			w.h.opErrs.Add(1)
+		}
+		return nil
+	case r < 88:
+		a, e := w.p.Stat(f.path)
+		if e != posix.OK {
+			w.h.opErrs.Add(1)
+			if !f.taint {
+				return fmt.Errorf("lost file: %s acknowledged but stat failed: %v", f.path, e)
+			}
+			return nil
+		}
+		if !f.taint && a.Size != int64(f.size) {
+			return fmt.Errorf("lost write: %s acknowledged size %d, stat says %d", f.path, f.size, a.Size)
+		}
+		return nil
+	default:
+		// Rename shuffle on an untracked scratch file: namespace churn
+		// without oracle bookkeeping.
+		scratch := w.dir + "/scratch"
+		if fd, e := w.p.Open(scratch, posix.OWronly|posix.OCreat); e == posix.OK {
+			w.p.Write(fd, []byte("scratch"))
+			w.p.Close(fd)
+		} else {
+			w.h.opErrs.Add(1)
+		}
+		if e := w.p.Rename(scratch, scratch+".2"); e != posix.OK {
+			w.h.opErrs.Add(1)
+			return nil
+		}
+		if e := w.p.Unlink(scratch + ".2"); e != posix.OK {
+			w.h.opErrs.Add(1)
+		}
+		return nil
+	}
+}
+
+func (w *posixWorker) verify() (clean, tainted int, err error) {
+	for _, f := range w.files {
+		// Same post-heal convergence contract as the OS/2 worker.
+		if f.taint {
+			if err := w.rewrite(f); err != nil {
+				return clean, tainted, err
+			}
+			if f.taint {
+				return clean, tainted, fmt.Errorf("no recovery: rewrite of %s still failing after heal", f.path)
+			}
+		}
+		if err := w.readVerify(f); err != nil {
+			return clean, tainted, err
+		}
+		if f.taint {
+			tainted++
+		} else {
+			clean++
+		}
+	}
+	return clean, tainted, nil
+}
+
+// ----------------------------------------------------------------- MVM --
+
+// mvmWorker drives a DOS guest through INT 21h file I/O.  The MVM write
+// call appends at EOF (as the real VDD did), so the oracle verifies a
+// stable prefix: each slot's expected content is its first fully
+// acknowledged 64-byte write, which later appends cannot disturb.  Guest
+// programs store each call's AX at a result trail (0x400+) so the host can
+// tell exactly which steps the guest saw acknowledged.
+type mvmWorker struct {
+	id     int
+	h      *harness
+	rng    *rand.Rand
+	vm     *mvm.VM
+	slots  []*mvmSlot
+	wrProg []byte
+	rdProg []byte
+	serial uint64
+}
+
+type mvmSlot struct {
+	dosName string // guest-visible name; resolves to /<name> on the root volume
+	prefix  []byte // first acknowledged 64-byte write; nil until one lands
+	taint   bool   // first write errored; prefix indeterminate
+	wrote   bool   // a write round has run for this slot
+}
+
+const (
+	mvmNameAddr   = 0x100 // NUL-terminated filename
+	mvmDataAddr   = 0x200 // 64-byte write payload
+	mvmReadAddr   = 0x280 // 64-byte read-back buffer
+	mvmTrailAddr  = 0x400 // AX result trail: open, io (2 bytes each)
+	mvmChunk      = 64
+	mvmFuelPerRun = 10_000
+)
+
+func newMVMWorker(id int) *mvmWorker { return &mvmWorker{id: id} }
+
+func (w *mvmWorker) name() string { return fmt.Sprintf("mvm-%d", w.id) }
+
+func (w *mvmWorker) setup(h *harness) error {
+	w.h, w.rng = h, wrng(h.cfg.Seed, w.id)
+	v, err := h.sys.MVM.NewVM(fmt.Sprintf("chaos-vm-%d", w.id), mvm.Interpret)
+	if err != nil {
+		return err
+	}
+	w.vm = v
+	for j := 0; j < 6; j++ {
+		w.slots = append(w.slots, &mvmSlot{dosName: fmt.Sprintf("CH%d_%d.DAT", w.id, j)})
+	}
+	// Write program: create (AX -> trail), append 64 bytes (AX -> trail),
+	// close, halt.
+	w.wrProg, err = mvm.NewAsm().
+		MovImm(mvm.AX, 0x3C00).MovImm(mvm.DX, mvmNameAddr).Int(mvm.IntDOS).
+		Store(mvmTrailAddr, mvm.AX).MovReg(mvm.BX, mvm.AX).
+		MovImm(mvm.AX, 0x4000).MovImm(mvm.CX, mvmChunk).MovImm(mvm.DX, mvmDataAddr).Int(mvm.IntDOS).
+		Store(mvmTrailAddr+2, mvm.AX).
+		MovImm(mvm.AX, 0x3E00).Int(mvm.IntDOS).
+		Hlt().Assemble()
+	if err != nil {
+		return err
+	}
+	// Read program: open, read 64 bytes from offset 0, close, halt.
+	w.rdProg, err = mvm.NewAsm().
+		MovImm(mvm.AX, 0x3D00).MovImm(mvm.DX, mvmNameAddr).Int(mvm.IntDOS).
+		Store(mvmTrailAddr, mvm.AX).MovReg(mvm.BX, mvm.AX).
+		MovImm(mvm.AX, 0x3F00).MovImm(mvm.CX, mvmChunk).MovImm(mvm.DX, mvmReadAddr).Int(mvm.IntDOS).
+		Store(mvmTrailAddr+2, mvm.AX).
+		MovImm(mvm.AX, 0x3E00).Int(mvm.IntDOS).
+		Hlt().Assemble()
+	if err != nil {
+		return err
+	}
+	// Seed every slot's prefix before faults are armed.
+	for _, s := range w.slots {
+		if err := w.writeRound(s); err != nil {
+			return err
+		}
+		if s.taint {
+			return fmt.Errorf("initial MVM write of %s errored with no fault armed", s.dosName)
+		}
+	}
+	return nil
+}
+
+// run loads prog, plants the filename and payload after Load zeroes guest
+// memory, runs to halt, and returns the two trail words (open AX, io AX).
+func (w *mvmWorker) run(prog []byte, s *mvmSlot, payload []byte) (openAX, ioAX uint16, err error) {
+	if err := w.vm.Load(prog); err != nil {
+		return 0, 0, err
+	}
+	copy(w.vm.Mem[mvmNameAddr:], append([]byte(s.dosName), 0))
+	if payload != nil {
+		copy(w.vm.Mem[mvmDataAddr:], payload)
+	}
+	if err := w.vm.Run(mvmFuelPerRun); err != nil {
+		return 0, 0, err
+	}
+	if !w.vm.Halted() {
+		return 0, 0, fmt.Errorf("guest did not halt within %d fuel", mvmFuelPerRun)
+	}
+	openAX = binary.LittleEndian.Uint16(w.vm.Mem[mvmTrailAddr:])
+	ioAX = binary.LittleEndian.Uint16(w.vm.Mem[mvmTrailAddr+2:])
+	return openAX, ioAX, nil
+}
+
+func (w *mvmWorker) writeRound(s *mvmSlot) error {
+	w.serial++
+	payload := make([]byte, mvmChunk)
+	stamp(w.rng, payload, w.serial, pathTag(s.dosName))
+	openAX, ioAX, err := w.run(w.wrProg, s, payload)
+	if err != nil {
+		return err
+	}
+	acked := openAX != 0xFFFF && ioAX == mvmChunk
+	if !acked {
+		w.h.opErrs.Add(1)
+		if s.prefix == nil {
+			s.taint = true
+		}
+		// A failed append cannot disturb an already-acknowledged prefix.
+	} else if s.prefix == nil && !s.taint {
+		s.prefix = payload
+	}
+	s.wrote = true
+	return nil
+}
+
+func (w *mvmWorker) readRound(s *mvmSlot) error {
+	if !s.wrote {
+		return nil
+	}
+	openAX, ioAX, err := w.run(w.rdProg, s, nil)
+	if err != nil {
+		return err
+	}
+	if openAX == 0xFFFF || ioAX == 0xFFFF {
+		w.h.opErrs.Add(1)
+		if s.prefix != nil {
+			return fmt.Errorf("lost file: guest %s acknowledged but open/read failed (open=%#x io=%#x)",
+				s.dosName, openAX, ioAX)
+		}
+		return nil
+	}
+	if s.prefix == nil {
+		return nil
+	}
+	if int(ioAX) < mvmChunk {
+		return fmt.Errorf("lost data: guest %s read %d of %d acknowledged bytes", s.dosName, ioAX, mvmChunk)
+	}
+	got := w.vm.Mem[mvmReadAddr : mvmReadAddr+mvmChunk]
+	if !bytes.Equal(got, s.prefix) {
+		return fmt.Errorf("lost write: guest %s prefix mismatch (%s)",
+			s.dosName, describeStamp(got, s.prefix))
+	}
+	return nil
+}
+
+func (w *mvmWorker) op() error {
+	s := w.slots[w.rng.Intn(len(w.slots))]
+	if w.rng.Intn(2) == 0 {
+		return w.writeRound(s)
+	}
+	return w.readRound(s)
+}
+
+func (w *mvmWorker) verify() (clean, tainted int, err error) {
+	for _, s := range w.slots {
+		if err := w.readRound(s); err != nil {
+			return clean, tainted, err
+		}
+		if s.taint {
+			tainted++
+		} else {
+			clean++
+		}
+	}
+	return clean, tainted, nil
+}
+
+// ---------------------------------------------------------------- echo --
+
+// echoWorker hammers the sacrificial echo service with raw RPC.  The port
+// under it is destroyed mid-epoch by the port-destruction fault, so this
+// worker is the one that must see ErrDeadPort — never a hang — and must
+// re-acquire a send right when the service is rebuilt.
+type echoWorker struct {
+	id     int
+	h      *harness
+	rng    *rand.Rand
+	task   *mach.Task
+	th     *mach.Thread
+	dest   mach.PortName
+	gen    uint64
+	serial uint64
+}
+
+func newEchoWorker(id int) *echoWorker { return &echoWorker{id: id} }
+
+func (w *echoWorker) name() string { return fmt.Sprintf("echo-%d", w.id) }
+
+func (w *echoWorker) setup(h *harness) error {
+	w.h, w.rng = h, wrng(h.cfg.Seed, w.id)
+	w.task = h.sys.Kernel.NewTask(fmt.Sprintf("chaos-echo-client-%d", w.id))
+	th, err := w.task.NewBoundThread("main")
+	if err != nil {
+		return err
+	}
+	w.th = th
+	return w.refresh()
+}
+
+// refresh re-acquires a send right to the echo service's current port.
+func (w *echoWorker) refresh() error {
+	gen, srvTask, recv := w.h.echo.current()
+	name, err := w.task.InsertRight(srvTask, recv, mach.DispMakeSend)
+	if err != nil {
+		// The port died between the generation read and the insert; the
+		// next op retries.
+		w.h.opErrs.Add(1)
+		return nil
+	}
+	w.dest, w.gen = name, gen
+	return nil
+}
+
+func (w *echoWorker) op() error {
+	if gen, _, _ := w.h.echo.current(); gen != w.gen {
+		if err := w.refresh(); err != nil {
+			return err
+		}
+	}
+	w.serial++
+	payload := make([]byte, 48)
+	stamp(w.rng, payload, w.serial, uint64(w.id))
+	reply, err := w.th.Call(w.dest, &mach.Message{ID: echoMsgID, Body: payload},
+		mach.CallOpts{Timeout: echoCallTimeout})
+	if err != nil {
+		// Dead port or timeout during a destruction window: expected,
+		// counted, and the invariant checks catch any leak it leaves.
+		w.h.opErrs.Add(1)
+		return nil
+	}
+	if !bytes.Equal(reply.Body, payload) {
+		return fmt.Errorf("echo corruption: sent serial %d, reply differs at %d",
+			w.serial, firstDiff(reply.Body, payload))
+	}
+	return nil
+}
+
+func (w *echoWorker) verify() (clean, tainted int, err error) {
+	// Liveness oracle: after the final repair the echo service must
+	// answer a fresh call.
+	if err := w.refresh(); err != nil {
+		return 0, 0, err
+	}
+	payload := []byte("final-echo-probe")
+	reply, cerr := w.th.Call(w.dest, &mach.Message{ID: echoMsgID, Body: payload},
+		mach.CallOpts{Timeout: echoCallTimeout})
+	if cerr != nil {
+		return 0, 0, fmt.Errorf("echo service dead after final repair: %w", cerr)
+	}
+	if !bytes.Equal(reply.Body, payload) {
+		return 0, 0, fmt.Errorf("echo corruption on final probe")
+	}
+	return 1, 0, nil
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// debugDump, when set by a test, receives the raw got/want buffers of the
+// first mismatch for offline diagnosis.
+var debugDump func(got, want []byte)

@@ -196,6 +196,25 @@ func (fs *FS) metaRead(sector uint64) ([]byte, error) {
 	return b, nil
 }
 
+// dropPending discards a staged metadata write for a sector that has been
+// freed.  Without this, freeing a journaled sector (directory data, via
+// Remove or truncData) leaves its stale content in the overlay; if the
+// sector is then reallocated for plain file data — which is written home
+// directly, not journaled — the next sync's home-write pass replays the
+// stale metadata over the file's freshly acknowledged bytes.
+func (fs *FS) dropPending(sector uint64) {
+	if _, ok := fs.pending[sector]; !ok {
+		return
+	}
+	delete(fs.pending, sector)
+	for i, s := range fs.pendingSq {
+		if s == sector {
+			fs.pendingSq = append(fs.pendingSq[:i], fs.pendingSq[i+1:]...)
+			break
+		}
+	}
+}
+
 // metaWrite stages a metadata sector write in the overlay.
 func (fs *FS) metaWrite(sector uint64, b []byte) error {
 	if len(fs.pendingSq) >= fs.journalCapacity() {
@@ -615,6 +634,7 @@ func (fs *FS) truncData(f *inode, size uint64) error {
 		if err := fs.bitmapSet(s, false); err != nil {
 			return err
 		}
+		fs.dropPending(s)
 		last.count--
 		if last.count == 0 {
 			f.extents = f.extents[:len(f.extents)-1]

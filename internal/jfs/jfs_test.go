@@ -268,3 +268,65 @@ func TestPropertyDurableAfterSync(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStaleJournalEntryAfterSectorFree pins the chaos-soak bug where a
+// freed directory-data sector's staged journal write survived in the
+// overlay: once the sector was reallocated to plain file data (written
+// home directly), the next Sync's home-write pass replayed the stale
+// directory bytes over the file's freshly acknowledged content.
+// Minimized from chaos seed 3 (os2 rewrite racing posix dir churn).
+func TestStaleJournalEntryAfterSectorFree(t *testing.T) {
+	fs, _ := newFS(t)
+	root := fs.Root()
+
+	// Build a directory whose data sector lands in the journal overlay.
+	dv, err := root.Create("d", true)
+	if err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := dv.Create(name, false); err != nil {
+			t.Fatalf("create d/%s: %v", name, err)
+		}
+	}
+	// Empty and remove the directory: its data sector is freed while its
+	// staged content is still pending in the overlay.
+	for _, name := range []string{"a", "b", "c"} {
+		if err := dv.Remove(name); err != nil {
+			t.Fatalf("remove d/%s: %v", name, err)
+		}
+	}
+	if err := root.Remove("d"); err != nil {
+		t.Fatalf("rmdir d: %v", err)
+	}
+
+	// Reallocate the freed sector for plain file data.
+	fv, err := root.Create("f", false)
+	if err != nil {
+		t.Fatalf("create f: %v", err)
+	}
+	want := bytes.Repeat([]byte{0xA5}, 3*sectorSize)
+	for i := range want {
+		want[i] ^= byte(i)
+	}
+	if _, err := fv.WriteAt(want, 0); err != nil {
+		t.Fatalf("write f: %v", err)
+	}
+
+	// The sync's home-write pass must not resurrect the dead directory's
+	// bytes over the file.
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got := make([]byte, len(want))
+	if _, err := fv.ReadAt(got, 0); err != nil {
+		t.Fatalf("read f: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("acknowledged write lost: stale journal bytes replayed over file data (first diff at %d)", i)
+	}
+}

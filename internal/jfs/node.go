@@ -149,6 +149,10 @@ func (n *node) Remove(name string) error {
 			if err := n.fs.bitmapSet(s, false); err != nil {
 				return err
 			}
+			// A removed directory's journaled data sectors must leave
+			// the overlay with them, or a later sync would replay stale
+			// directory bytes over whatever reuses the sector.
+			n.fs.dropPending(s)
 		}
 	}
 	cf = inode{}

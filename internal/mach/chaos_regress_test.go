@@ -1,0 +1,366 @@
+package mach
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+)
+
+// Regression tests for the pool/port-set/SMP lifecycle bugs flushed out by
+// the chaos soak harness (internal/chaos).  Each test is the minimized,
+// deterministic form of a failure mode the soak either found or guards
+// against; they live in-package so they can check the unexported kstat
+// family names directly.
+
+// settle polls cond until it holds or the deadline passes.  Lifecycle
+// bookkeeping (gauge decrements, thread exits) completes shortly after the
+// observable event, not atomically with it.
+func settle(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: condition never settled", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Satellite 1: destroying a pool's receive right while a handler is still
+// running must tear the pool down cleanly — every worker exits (Wait
+// returns), the in-flight handler's reply is still delivered, the busy
+// gauge returns to zero, and the pool-occupancy workers gauge drains to
+// zero rather than showing phantom workers forever.
+func TestPoolTeardownOnPortDestroyMidHandler(t *testing.T) {
+	k := newTestKernel()
+	st := kstat.Attach(k.CPU)
+	t.Cleanup(func() { kstat.Detach(k.CPU) })
+
+	srv := k.NewTask("fsrv")
+	recv, err := srv.AllocatePort()
+	if err != nil {
+		t.Fatalf("AllocatePort: %v", err)
+	}
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	pool, err := srv.ServePool("work", recv, 3, func(m *Message) *Message {
+		if m.ID == 1 {
+			entered <- struct{}{}
+			<-release // hold the handler while the port dies under it
+		}
+		return &Message{ID: m.ID + 100}
+	})
+	if err != nil {
+		t.Fatalf("ServePool: %v", err)
+	}
+	// Each worker increments the gauge from its own thread as it starts.
+	settle(t, "workers gauge at start", func() bool {
+		return st.Gauge(pool.WorkersGauge()).Value() == 3
+	})
+
+	client := k.NewTask("client")
+	defer client.Terminate()
+	send, _ := client.InsertRight(srv, recv, DispMakeSend)
+	slowTh, _ := client.NewBoundThread("slow")
+
+	slowDone := make(chan error, 1)
+	go func() {
+		reply, err := slowTh.RPC(send, &Message{ID: 1})
+		if err == nil && reply.ID != 101 {
+			err = errors.New("slow caller got wrong reply")
+		}
+		slowDone <- err
+	}()
+	<-entered // the slow handler is mid-flight on one worker
+
+	if err := srv.DeallocatePort(recv); err != nil {
+		t.Fatalf("DeallocatePort: %v", err)
+	}
+	close(release) // let the in-flight handler finish against a dead port
+
+	// The in-flight exchange was already handed to the worker; its reply
+	// must still reach the caller (cooperative termination contract).
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatalf("in-flight caller: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight caller still blocked after port destroy")
+	}
+
+	// Every worker must exit its receive loop, not hang.
+	waited := make(chan struct{})
+	go func() { pool.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pool workers did not exit after port destroy")
+	}
+	if n := pool.LiveWorkers(); n != 0 {
+		t.Fatalf("LiveWorkers after teardown = %d, want 0", n)
+	}
+
+	// Occupancy bookkeeping: no stuck busy gauge, no phantom workers.
+	settle(t, "busy gauge", func() bool { return st.Gauge(pool.busyFam).Value() == 0 })
+	settle(t, "workers gauge", func() bool { return st.Gauge(pool.WorkersGauge()).Value() == 0 })
+
+	// A fresh call against the dead right fails fast, it does not hang.
+	fastTh, _ := client.NewBoundThread("fast")
+	if _, err := fastTh.RPCWithTimeout(send, &Message{ID: 2}, time.Second); !errors.Is(err, ErrDeadPort) {
+		t.Fatalf("call after teardown: err = %v, want ErrDeadPort", err)
+	}
+}
+
+// KillWorker/RespawnWorker edges: kill is idempotent-false on a dead slot,
+// respawn refuses a live slot (ErrThreadRunning) and an out-of-range slot
+// (ErrInvalidThread), service continues degraded after a kill, and respawn
+// restores both LiveWorkers and the published workers gauge.
+func TestPoolKillRespawnWorkerEdges(t *testing.T) {
+	k := newTestKernel()
+	st := kstat.Attach(k.CPU)
+	t.Cleanup(func() { kstat.Detach(k.CPU) })
+
+	srv := k.NewTask("fsrv")
+	recv, _ := srv.AllocatePort()
+	pool, err := srv.ServePool("work", recv, 2, func(m *Message) *Message {
+		return &Message{ID: m.ID + 1}
+	})
+	if err != nil {
+		t.Fatalf("ServePool: %v", err)
+	}
+	defer pool.Stop()
+
+	client := k.NewTask("client")
+	defer client.Terminate()
+	send, _ := client.InsertRight(srv, recv, DispMakeSend)
+	th, _ := client.NewBoundThread("main")
+	call := func() {
+		t.Helper()
+		reply, err := th.RPC(send, &Message{ID: 10})
+		if err != nil || reply.ID != 11 {
+			t.Fatalf("RPC: reply=%v err=%v", reply, err)
+		}
+	}
+	call()
+
+	if !pool.KillWorker(0) {
+		t.Fatal("KillWorker(0) on a live slot returned false")
+	}
+	settle(t, "worker death", func() bool { return pool.LiveWorkers() == 1 })
+	if pool.KillWorker(0) {
+		t.Fatal("KillWorker(0) on a dead slot returned true")
+	}
+	if pool.KillWorker(7) {
+		t.Fatal("KillWorker out of range returned true")
+	}
+	call() // the surviving worker still serves
+
+	if err := pool.RespawnWorker(1); !errors.Is(err, ErrThreadRunning) {
+		t.Fatalf("RespawnWorker on live slot: err = %v, want ErrThreadRunning", err)
+	}
+	if err := pool.RespawnWorker(7); !errors.Is(err, ErrInvalidThread) {
+		t.Fatalf("RespawnWorker out of range: err = %v, want ErrInvalidThread", err)
+	}
+	if err := pool.RespawnWorker(0); err != nil {
+		t.Fatalf("RespawnWorker(0): %v", err)
+	}
+	settle(t, "respawn", func() bool { return pool.LiveWorkers() == 2 })
+	settle(t, "workers gauge", func() bool {
+		return st.Gauge(pool.WorkersGauge()).Value() == int64(pool.LiveWorkers())
+	})
+	call()
+}
+
+// Forwarder-stall regression: a caller that abandons a port-set rendezvous
+// (timeout with no receiver) must release the forwarder — the set's
+// pending gauge drains to zero and a receiver attached afterwards serves
+// fresh calls rather than finding the member port wedged on a dead
+// exchange.
+func TestPortSetAbandonedCallerReleasesForwarder(t *testing.T) {
+	k := newTestKernel()
+	st := kstat.Attach(k.CPU)
+	t.Cleanup(func() { kstat.Detach(k.CPU) })
+
+	srv := k.NewTask("server")
+	ps, err := srv.AllocatePortSet()
+	if err != nil {
+		t.Fatalf("AllocatePortSet: %v", err)
+	}
+	member, _ := srv.AllocatePort()
+	if err := ps.AddMember(member); err != nil {
+		t.Fatalf("AddMember: %v", err)
+	}
+
+	client := k.NewTask("client")
+	defer client.Terminate()
+	send, _ := client.InsertRight(srv, member, DispMakeSend)
+	th, _ := client.NewBoundThread("main")
+
+	// No receiver on the set yet: the call times out and is abandoned
+	// while the forwarder holds the exchange.
+	if _, err := th.RPCWithTimeout(send, &Message{ID: 1}, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	settle(t, "pending gauge", func() bool { return st.Gauge(ps.pendFam).Value() == 0 })
+
+	// The member port must still be serviceable after the abandonment.
+	pool, err := srv.ServeSetPool("late", ps, 1, func(_ PortName, m *Message) *Message {
+		return &Message{ID: m.ID + 1}
+	})
+	if err != nil {
+		t.Fatalf("ServeSetPool: %v", err)
+	}
+	defer pool.Stop()
+	reply, err := th.RPCWithTimeout(send, &Message{ID: 5}, 2*time.Second)
+	if err != nil || reply.ID != 6 {
+		t.Fatalf("post-abandon RPC: reply=%v err=%v", reply, err)
+	}
+}
+
+// Destroying a port set while a caller is parked in a member's forwarded
+// rendezvous must fail the caller with ErrDeadPort in bounded time — the
+// forwarder may never strand the exchange.
+func TestPortSetDestroyUnblocksForwardedCaller(t *testing.T) {
+	k := newTestKernel()
+	st := kstat.Attach(k.CPU)
+	t.Cleanup(func() { kstat.Detach(k.CPU) })
+
+	srv := k.NewTask("server")
+	ps, _ := srv.AllocatePortSet()
+	member, _ := srv.AllocatePort()
+	ps.AddMember(member)
+
+	client := k.NewTask("client")
+	defer client.Terminate()
+	send, _ := client.InsertRight(srv, member, DispMakeSend)
+	th, _ := client.NewBoundThread("main")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := th.RPC(send, &Message{ID: 1})
+		done <- err
+	}()
+	// Wait until the forwarder actually holds the caller's exchange.
+	settle(t, "forwarder pickup", func() bool { return st.Gauge(ps.pendFam).Value() == 1 })
+
+	ps.Destroy()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeadPort) {
+			t.Fatalf("err = %v, want ErrDeadPort", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("caller still blocked after set destroy")
+	}
+	settle(t, "pending gauge", func() bool { return st.Gauge(ps.pendFam).Value() == 0 })
+}
+
+// Satellite 3: repartitioning processors with processor_assign while a
+// server pool is under RPC load — including emptying the pool task's set
+// mid-burst, which forces the dispatcher's fall-back-to-all-engines path —
+// must neither race (this test runs under -race in scripts/check.sh) nor
+// strand scheduler state: once traffic quiesces, every engine's run queue
+// and virtual-time reservation count must be zero.
+func TestProcessorAssignEmptiesSetMidBurst(t *testing.T) {
+	k := NewSMP(cpu.Pentium133(), 4)
+	kstat.Attach(k.CPU)
+	t.Cleanup(func() { kstat.Detach(k.CPU) })
+
+	srv := k.NewTask("fsrv")
+	recv, _ := srv.AllocatePort()
+	pool, err := srv.ServePool("work", recv, 3, func(m *Message) *Message {
+		return &Message{ID: m.ID + 1}
+	})
+	if err != nil {
+		t.Fatalf("ServePool: %v", err)
+	}
+	defer pool.Stop()
+
+	host := k.Host()
+	set, err := host.CreateSet("chaos")
+	if err != nil {
+		t.Fatalf("CreateSet: %v", err)
+	}
+	set.AssignTask(srv)
+
+	stop := make(chan struct{})
+	var shuffler sync.WaitGroup
+	shuffler.Add(1)
+	go func() {
+		defer shuffler.Done()
+		procs := host.Processors()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				// Leave everything back on the default set.
+				for _, p := range procs {
+					host.AssignProcessor(p, host.DefaultSet())
+				}
+				set.RemoveTask(srv)
+				return
+			default:
+			}
+			// Move half the engines into the pool's set, read their
+			// placement back (the Processor.Set data-race regression),
+			// then empty the set again mid-traffic.
+			for _, p := range procs[:len(procs)/2] {
+				host.AssignProcessor(p, set)
+			}
+			for _, p := range procs {
+				_ = p.Set()
+			}
+			for _, p := range procs[:len(procs)/2] {
+				host.AssignProcessor(p, host.DefaultSet())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var clients sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		clients.Add(1)
+		go func(c int) {
+			defer clients.Done()
+			ct := k.NewTask("client")
+			defer ct.Terminate()
+			send, _ := ct.InsertRight(srv, recv, DispMakeSend)
+			th, _ := ct.NewBoundThread("main")
+			for i := 0; i < 150; i++ {
+				reply, err := th.RPCWithTimeout(send, &Message{ID: MsgID(i)}, 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if int(reply.ID) != i+1 {
+					errs <- errors.New("wrong reply under repartition")
+					return
+				}
+			}
+		}(c)
+	}
+	clients.Wait()
+	close(stop)
+	shuffler.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("client under repartition: %v", err)
+	default:
+	}
+
+	// Quiesce check: no stranded run-queue entries or virtual-time
+	// reservations on any engine after the burst.
+	settle(t, "scheduler quiesce", func() bool {
+		for _, es := range k.SchedStats() {
+			if es.RunQueue != 0 || es.Reserved != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}

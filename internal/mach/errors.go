@@ -18,4 +18,5 @@ var (
 	ErrAborted         = errors.New("mach: operation aborted by thread termination")
 	ErrNotReceiver     = errors.New("mach: caller does not hold the receive right")
 	ErrRightExists     = errors.New("mach: name already denotes a right")
+	ErrThreadRunning   = errors.New("mach: pool worker is still running")
 )

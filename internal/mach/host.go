@@ -3,6 +3,7 @@ package mach
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 )
@@ -27,15 +28,18 @@ type Host struct {
 type Processor struct {
 	Slot    int
 	Running bool
-	set     *ProcessorSet
-	eng     *cpu.Engine
+	// set is the owning processor set.  Atomic because processor_assign
+	// repartitions concurrently with dispatch-path and tooling reads —
+	// a plain field here was a data race under chaos repartitioning.
+	set atomic.Pointer[ProcessorSet]
+	eng *cpu.Engine
 }
 
 // Engine returns the modeled engine behind the processor.
 func (p *Processor) Engine() *cpu.Engine { return p.eng }
 
 // Set returns the processor set the processor currently belongs to.
-func (p *Processor) Set() *ProcessorSet { return p.set }
+func (p *Processor) Set() *ProcessorSet { return p.set.Load() }
 
 // ProcessorSet groups processors and the tasks assigned to them.
 type ProcessorSet struct {
@@ -55,7 +59,8 @@ func newHost(k *Kernel) *Host {
 	def := &ProcessorSet{Name: DefaultPSet, assigned: make(map[TaskID]*Task), maxPri: 31}
 	h.psets[DefaultPSet] = def
 	for i, eng := range k.Engines() {
-		p := &Processor{Slot: i, Running: true, set: def, eng: eng}
+		p := &Processor{Slot: i, Running: true, eng: eng}
+		p.set.Store(def)
 		h.procs = append(h.procs, p)
 		def.procs = append(def.procs, p)
 	}
@@ -119,7 +124,7 @@ func (h *Host) CreateSet(name string) (*ProcessorSet, error) {
 func (h *Host) AssignProcessor(p *Processor, ps *ProcessorSet) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	old := p.set
+	old := p.set.Load()
 	if old == ps {
 		return
 	}
@@ -136,7 +141,7 @@ func (h *Host) AssignProcessor(p *Processor, ps *ProcessorSet) {
 	ps.mu.Lock()
 	ps.procs = append(ps.procs, p)
 	ps.mu.Unlock()
-	p.set = ps
+	p.set.Store(ps)
 }
 
 // Sets lists the processor sets.

@@ -2,6 +2,7 @@ package mach
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/kprof"
@@ -26,9 +27,14 @@ import (
 
 // ServerPool is a set of server threads draining a shared receive right.
 type ServerPool struct {
-	task    *Task
-	threads []*Thread
-	ops     []atomic.Uint64
+	task *Task
+	name string
+	ops  []atomic.Uint64
+
+	// recv and handler are retained so a dead worker can be respawned on
+	// the same receive right (RespawnWorker).
+	recv    receiveFn
+	handler func(PortName, *Message) *Message
 
 	// vtp is the pool's virtual capacity on multi-engine kernels: its
 	// workers' bursts serialize on these interchangeable server slots
@@ -39,6 +45,10 @@ type ServerPool struct {
 	// kstat family names, precomputed so the worker loop does no string
 	// concatenation per request.
 	busyFam, opsFam, workersFam string
+
+	mu      sync.Mutex
+	threads []*Thread // slot i holds worker i's current thread
+	spawned int       // monotonic name counter across respawns
 }
 
 // receiveFn blocks one worker until a request arrives, returning the
@@ -70,25 +80,56 @@ func (t *Task) servePool(name string, n int, recv receiveFn, h func(PortName, *M
 	if n < 1 {
 		n = 1
 	}
-	p := &ServerPool{task: t, ops: make([]atomic.Uint64, n), threads: make([]*Thread, 0, n), vtp: newVTPool(n)}
+	p := &ServerPool{
+		task: t, name: name, recv: recv, handler: h,
+		ops: make([]atomic.Uint64, n), threads: make([]*Thread, n), vtp: newVTPool(n),
+	}
 	fam := "mach.pool." + t.name + "/" + name
 	p.busyFam, p.opsFam, p.workersFam = fam+".busy", fam+".ops", fam+".workers"
 	if st := kstat.For(t.kernel.CPU); st != nil {
-		st.Gauge(p.workersFam).Set(int64(n))
+		// Touch the gauge so the family exists even before the first
+		// worker starts; spawnWorker maintains the live count.
+		st.Gauge(p.workersFam).Add(0)
 	}
 	for i := 0; i < n; i++ {
-		idx := i
-		th, err := t.Spawn(fmt.Sprintf("%s/%d", name, i), func(th *Thread) {
-			th.poolVT = p.vtp
-			p.worker(th, idx, recv, h)
-		})
-		if err != nil {
+		if err := p.spawnWorker(i); err != nil {
 			p.Stop()
 			return nil, err
 		}
-		p.threads = append(p.threads, th)
 	}
 	return p, nil
+}
+
+// spawnWorker starts (or restarts) worker slot idx.  The pool-occupancy
+// workers gauge counts live workers: incremented when a worker starts and
+// decremented when its loop exits for any reason — dead port, terminated
+// thread, task shutdown — so the monitor never shows phantom workers
+// after a pool dies.
+func (p *ServerPool) spawnWorker(idx int) error {
+	p.mu.Lock()
+	seq := p.spawned
+	p.spawned++
+	p.mu.Unlock()
+	k := p.task.kernel
+	th, err := p.task.Spawn(fmt.Sprintf("%s/%d", p.name, seq), func(th *Thread) {
+		th.poolVT = p.vtp
+		if st := kstat.For(k.CPU); st != nil {
+			st.Gauge(p.workersFam).Inc()
+		}
+		defer func() {
+			if st := kstat.For(k.CPU); st != nil {
+				st.Gauge(p.workersFam).Dec()
+			}
+		}()
+		p.worker(th, idx, p.recv, p.handler)
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.threads[idx] = th
+	p.mu.Unlock()
+	return nil
 }
 
 // worker is one pool thread's loop.  Its ktrace span is per-thread (named
@@ -143,8 +184,13 @@ func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName
 	}
 }
 
-// Size reports the number of worker threads.
-func (p *ServerPool) Size() int { return len(p.threads) }
+// Size reports the number of worker slots.
+func (p *ServerPool) Size() int { return len(p.ops) }
+
+// WorkersGauge reports the kstat gauge family that tracks this pool's
+// live worker count, so external health checks (the chaos harness) can
+// compare the published gauge against LiveWorkers.
+func (p *ServerPool) WorkersGauge() string { return p.workersFam }
 
 // LimitVirtualServers caps the pool's virtual capacity at n servers on
 // multi-engine kernels, regardless of thread count.  A pool fronting one
@@ -175,14 +221,74 @@ func (p *ServerPool) WorkerOps() []uint64 {
 
 // Stop terminates all workers (thread_terminate on each).
 func (p *ServerPool) Stop() {
-	for _, th := range p.threads {
+	for _, th := range p.snapshot() {
 		th.Terminate()
 	}
 }
 
 // Wait blocks until every worker has exited.
 func (p *ServerPool) Wait() {
-	for _, th := range p.threads {
+	for _, th := range p.snapshot() {
 		<-th.Done()
 	}
+}
+
+// snapshot returns the current worker threads (nil slots skipped).
+func (p *ServerPool) snapshot() []*Thread {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Thread, 0, len(p.threads))
+	for _, th := range p.threads {
+		if th != nil {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
+// KillWorker terminates worker slot i mid-flight (thread_terminate on its
+// current thread), simulating a crashed pool thread.  A handler already
+// running completes and its reply is still delivered; the worker exits at
+// its next blocking point.  Returns false when i is out of range or the
+// slot's thread is already dead.
+func (p *ServerPool) KillWorker(i int) bool {
+	p.mu.Lock()
+	var th *Thread
+	if i >= 0 && i < len(p.threads) {
+		th = p.threads[i]
+	}
+	p.mu.Unlock()
+	if th == nil || th.Dead() {
+		return false
+	}
+	th.Terminate()
+	return true
+}
+
+// RespawnWorker restarts a dead worker slot with a fresh thread on the
+// same receive right — the pool's crash-recovery path.  It fails if the
+// slot's thread is still alive or the task has terminated.
+func (p *ServerPool) RespawnWorker(i int) error {
+	p.mu.Lock()
+	if i < 0 || i >= len(p.threads) {
+		p.mu.Unlock()
+		return ErrInvalidThread
+	}
+	if th := p.threads[i]; th != nil && !th.Dead() {
+		p.mu.Unlock()
+		return ErrThreadRunning
+	}
+	p.mu.Unlock()
+	return p.spawnWorker(i)
+}
+
+// LiveWorkers counts worker slots whose thread is currently alive.
+func (p *ServerPool) LiveWorkers() int {
+	n := 0
+	for _, th := range p.snapshot() {
+		if !th.Dead() {
+			n++
+		}
+	}
+	return n
 }

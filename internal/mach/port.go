@@ -97,7 +97,18 @@ type rpcExchange struct {
 	abort   chan struct{}
 	caller  *Thread
 	state   atomic.Int32
+
+	// gone is closed when the caller abandons the exchange (timeout or
+	// thread abort).  Intermediaries holding the exchange without a
+	// receiver — the port-set forwarders — select on it so an abandoned
+	// caller never leaves them blocked trying to deliver a request
+	// nobody will answer.  Nil for exchanges that cannot be abandoned.
+	gone chan struct{}
 }
+
+// goneCh returns the abandon channel (nil-safe: a nil channel in a
+// select simply never fires).
+func (ex *rpcExchange) goneCh() <-chan struct{} { return ex.gone }
 
 // commit claims the right to deliver the outcome.  It returns false when
 // the caller already abandoned the exchange (timeout/abort), in which case
@@ -116,7 +127,13 @@ func (ex *rpcExchange) fail(err error) {
 // abandon marks the caller as gone.  It returns false when a reply already
 // committed — the buffered outcome is then in flight and must be taken.
 func (ex *rpcExchange) abandon() bool {
-	return ex.state.CompareAndSwap(exPending, exAbandoned)
+	if ex.state.CompareAndSwap(exPending, exAbandoned) {
+		if ex.gone != nil {
+			close(ex.gone)
+		}
+		return true
+	}
+	return false
 }
 
 // DefaultQueueLimit is the default depth of a port's message queue in the

@@ -21,6 +21,11 @@ type PortSet struct {
 	members map[*Port]PortName
 	dead    bool
 
+	// deadCh is closed by Destroy so forwarders and receivers blocked on
+	// the set's channel unwind instead of hanging with an exchange (or a
+	// caller) stranded.
+	deadCh chan struct{}
+
 	// ch receives exchanges forwarded from member ports.
 	ch chan setDelivery
 
@@ -57,6 +62,7 @@ func (t *Task) AllocatePortSet() (*PortSet, error) {
 		id:      id,
 		task:    t,
 		members: make(map[*Port]PortName),
+		deadCh:  make(chan struct{}),
 		ch:      make(chan setDelivery),
 		pendFam: fmt.Sprintf("mach.portset.%s/%d.pending", t.name, id),
 	}, nil
@@ -129,11 +135,31 @@ func (ps *PortSet) forward(port *Port, name PortName) {
 			case ps.ch <- setDelivery{ex: ex, port: port, name: name}:
 				// The receiver decrements in RPCReceiveSet.
 			case <-ex.abort:
+				// Caller thread died; the exchange is already (or about
+				// to be) abandoned on the caller side.
 				if st != nil {
 					st.Gauge(ps.pendFam).Dec()
 				}
+			case <-ex.goneCh():
+				// Caller abandoned the exchange (deadline expired while
+				// every server thread was busy elsewhere).  Drop it: a
+				// committed delivery now would be discarded anyway, and
+				// blocking here would wedge this member port forever.
+				if st != nil {
+					st.Gauge(ps.pendFam).Dec()
+				}
+			case <-ps.deadCh:
+				// The set died with the exchange in hand: fail the
+				// caller instead of stranding it in its reply wait.
+				ex.fail(ErrDeadPort)
+				if st != nil {
+					st.Gauge(ps.pendFam).Dec()
+				}
+				return
 			}
 		case <-port.rpcClosed():
+			return
+		case <-ps.deadCh:
 			return
 		}
 	}
@@ -179,10 +205,15 @@ func (ps *PortSet) Members() int {
 	return len(ps.members)
 }
 
-// Destroy dissolves the set (member ports survive).
+// Destroy dissolves the set (member ports survive).  Forwarders holding
+// undelivered exchanges fail their callers with ErrDeadPort, and server
+// threads blocked in RPCReceiveSet unblock with the same error.
 func (ps *PortSet) Destroy() {
 	ps.mu.Lock()
-	ps.dead = true
+	if !ps.dead {
+		ps.dead = true
+		close(ps.deadCh)
+	}
 	ps.members = make(map[*Port]PortName)
 	ps.mu.Unlock()
 }
@@ -203,6 +234,8 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 		}
 	case <-th.abort:
 		return nil, nil, NullName, ErrAborted
+	case <-ps.deadCh:
+		return nil, nil, NullName, ErrDeadPort
 	}
 	// One scheduled burst covers receive, handler and reply, as in
 	// RPCReceive; the release rides in the Responder.  The burst

@@ -134,6 +134,11 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 	if err != nil {
 		st.Counter("mach.rpc.errors").Inc()
 	} else {
+		// Every dispatched call resolves as exactly one reply or one
+		// error, so after quiesce calls == replies + errors — the
+		// conservation law the chaos harness checks after each fault
+		// epoch.
+		st.Counter("mach.rpc.replies").Inc()
 		st.Counter("mach.rpc.bytes_out").Add(uint64(len(m.Body) + len(m.OOL)))
 	}
 	return m, err
@@ -201,6 +206,7 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 		reply:   make(chan rpcOutcome, 1),
 		abort:   th.abort,
 		caller:  th,
+		gone:    make(chan struct{}),
 	}
 
 	// The client blocks for the rendezvous: its burst ends here.

@@ -430,6 +430,7 @@ type EngineStats struct {
 	Cycles     uint64
 	Virtual    uint64 // latest modeled burst completion on this engine
 	RunQueue   int64
+	Reserved   int64 // in-flight burst reservations (0 when quiescent)
 	Dispatches uint64
 	Migrations uint64
 	Steals     uint64
@@ -448,6 +449,7 @@ func (k *Kernel) SchedStats() []EngineStats {
 			Cycles:     k.cx.EngineCounters(se.slot).Cycles,
 			Virtual:    se.vt.Load(),
 			RunQueue:   se.runq.Load(),
+			Reserved:   se.resv.Load(),
 			Dispatches: se.dispatches.Load(),
 			Migrations: se.migrations.Load(),
 			Steals:     se.steals.Load(),

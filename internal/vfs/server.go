@@ -206,6 +206,18 @@ func (s *Server) UnmountVolume(path string) error {
 	return nil
 }
 
+// VolumeCache returns the cache interposed on the volume mounted at
+// path with MountVolume, or nil when the volume has no cache (or the
+// path is not a MountVolume mount).  Test and harness hook.
+func (s *Server) VolumeCache(path string) CachedDev {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	if v := s.volumes[path]; v != nil {
+		return v.cdev
+	}
+	return nil
+}
+
 // flushVolume pushes a cached volume's write-behind data to the device:
 // the filesystem commits first (a journaled format writes its journal
 // into the cache), then the cache flushes.  A volume without a cache is

@@ -17,3 +17,9 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
+
+# Chaos short soak under the race detector: one seed, all six fault kinds,
+# full invariant oracle.  Kept -short so the race-instrumented run stays in
+# CI budget; `make chaos` runs the same corpus without instrumentation and
+# a failure in either prints the -chaos.seed flags for deterministic replay.
+go test -race ./internal/chaos/ -short -run 'TestChaosSoak|TestChaosSingleCPU'
