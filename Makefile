@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check tables stats profile benchgate smp chaos
+.PHONY: all build test check tables stats profile benchgate smp chaos blackbox
 
 all: build test
 
@@ -40,6 +40,12 @@ benchgate:
 # nonzero per-engine cycles and migrations through the monitor's RPC.
 smp:
 	sh scripts/smp_smoke.sh
+
+# Black-box smoke: boot wpos, run a workload, fetch a flight dump over the
+# monitor's RPC, and assert nonzero flight-ring events per engine and a
+# populated wait-for graph with no false deadlock cycles.
+blackbox:
+	sh scripts/blackbox_smoke.sh
 
 # Chaos short soak: one fixed seed driving mixed OS/2 + POSIX + MVM + RPC
 # traffic through all six fault kinds with the invariant oracle on (~30s).

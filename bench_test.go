@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/kflight"
 	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/workload"
@@ -518,5 +519,50 @@ func TestProfWorkloadObservationOnly(t *testing.T) {
 	if cycles < ra.Cycles {
 		t.Fatalf("profile attributed %d cycles, workload modeled %d — cycles escaped attribution",
 			cycles, ra.Cycles)
+	}
+}
+
+func TestFlightWorkloadObservationOnly(t *testing.T) {
+	// The kflight acceptance gate: core.Boot attaches the flight recorder
+	// by default; detach it from one of two identical boots.  File
+	// Intensive 1 must model bit-identical cycles either way — the
+	// recorder's hooks read counters and store pointers, they never
+	// charge.
+	a, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kflight.Detach(b.Kernel.CPU)
+	ra, err := workload.Run(workload.FileIntensive1, a.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := workload.Run(workload.FileIntensive1, b.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles {
+		t.Fatalf("kflight perturbed the workload: attached=%d detached=%d", ra.Cycles, rb.Cycles)
+	}
+	// The attached run must actually have recorded: events in the ring
+	// and (with the classic serve threads parked in their receives) a
+	// populated wait-for graph.
+	rec := kflight.For(a.Kernel.CPU)
+	if rec == nil {
+		t.Fatal("boot did not attach a flight recorder")
+	}
+	var events uint64
+	for slot := 0; slot < rec.Engines(); slot++ {
+		events += rec.Emitted(slot)
+	}
+	if events == 0 {
+		t.Fatal("recorder attached but captured no events")
+	}
+	if len(a.Kernel.WaitEdges()) == 0 {
+		t.Fatal("wait-for graph empty despite parked server threads")
 	}
 }

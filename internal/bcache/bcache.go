@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/iosys"
+	"repro/internal/kflight"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/vfs"
@@ -425,6 +426,20 @@ func (c *Cache) removeFromDirtyQ(sectors []uint64) {
 // account records the op's observation-only metrics.  It never charges
 // the engine; with kstat detached it only refreshes nothing.
 func (c *Cache) account(hits, misses, ra, wb uint64) {
+	// One flight event per outcome class keeps the ring coarse: a
+	// postmortem wants "the cache was missing right before the stall",
+	// not a per-sector ledger (kstat holds the exact counts).
+	if fr := kflight.For(c.eng); fr != nil {
+		if hits > 0 {
+			fr.Emit(ktrace.EvCache, "bcache", "hit", hits)
+		}
+		if misses > 0 {
+			fr.Emit(ktrace.EvCache, "bcache", "miss", misses)
+		}
+		if wb > 0 {
+			fr.Emit(ktrace.EvCache, "bcache", "writeback", wb)
+		}
+	}
 	st := c.stats()
 	if st == nil {
 		return

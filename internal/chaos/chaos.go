@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -49,6 +51,10 @@ type Config struct {
 	StallTimeout time.Duration
 	// Log, when set, receives the narrative fault log as it happens.
 	Log io.Writer
+	// DumpDir is where an invariant failure writes its kflight postmortem
+	// dump (default os.TempDir(); empty string after defaulting is
+	// impossible, "-" disables the artifact).
+	DumpDir string
 }
 
 // Report summarizes a completed (or failed) run.
@@ -91,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StallTimeout <= 0 {
 		c.StallTimeout = 30 * time.Second
+	}
+	if c.DumpDir == "" {
+		c.DumpDir = os.TempDir()
 	}
 	return c
 }
@@ -191,8 +200,37 @@ func (h *harness) fail(err error) error {
 	if len(tail) > 12 {
 		tail = tail[len(tail)-12:]
 	}
-	return fmt.Errorf("chaos(seed=%d actions=%d cpus=%d): %w\nrecent events:\n  %s",
-		h.cfg.Seed, h.cfg.Actions, h.cfg.CPUs, err, strings.Join(tail, "\n  "))
+	dump := ""
+	if path := h.writeDump(err); path != "" {
+		dump = "\nflight dump: " + path
+	}
+	return fmt.Errorf("chaos(seed=%d actions=%d cpus=%d): %w\nrecent events:\n  %s%s",
+		h.cfg.Seed, h.cfg.Actions, h.cfg.CPUs, err, strings.Join(tail, "\n  "), dump)
+}
+
+// writeDump captures the system's kflight postmortem next to the replay
+// flags of a failed run: the last-K event rings, the wait-for graph (a
+// deadlocked drain names its cycle), scheduler state and the full kstat
+// snapshot.  Best-effort — a missing recorder or an unwritable dir just
+// drops the artifact, never masks the original failure.
+func (h *harness) writeDump(cause error) string {
+	if h.cfg.DumpDir == "-" || h.sys == nil {
+		return ""
+	}
+	d := h.sys.Kernel.FlightDump(fmt.Sprintf("chaos invariant failure: %v", cause))
+	if d == nil {
+		return ""
+	}
+	path := filepath.Join(h.cfg.DumpDir, fmt.Sprintf("chaos-flight-seed%d.json", h.cfg.Seed))
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		return ""
+	}
+	defer f.Close()
+	if werr := d.WriteJSON(f); werr != nil {
+		return ""
+	}
+	return path
 }
 
 func (h *harness) logf(f string, a ...any) {

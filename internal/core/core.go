@@ -20,6 +20,7 @@ import (
 	"repro/internal/hpfs"
 	"repro/internal/iosys"
 	"repro/internal/jfs"
+	"repro/internal/kflight"
 	"repro/internal/kstat"
 	"repro/internal/ksync"
 	"repro/internal/ktime"
@@ -184,6 +185,10 @@ func Boot(cfg Config) (*System, error) {
 	// is counted.  Observation hooks throughout the system find this set
 	// via kstat.For and never charge the cost model.
 	s.Stats = kstat.Attach(s.Kernel.CPU)
+	// Flight recorder: always-on bounded rings of the last K events per
+	// engine, the raw material of postmortem dumps.  Like kstat it is
+	// observation-only — a boot with it detached is cycle-identical.
+	kflight.Attach(s.Kernel.CPU)
 	// On a multi-engine boot, seed the per-engine kstat families so every
 	// exposition lists all engines from the first frame.
 	s.Kernel.PublishCPUStats()
@@ -205,6 +210,13 @@ func Boot(cfg Config) (*System, error) {
 				kind = "fault:write"
 			}
 			t.Emit(ktrace.EvVMFault, "vm", kind, ktrace.SpanContext{}, addr|asid<<48)
+		}
+		if fr := kflight.For(eng); fr != nil {
+			kind := "fault:read"
+			if write {
+				kind = "fault:write"
+			}
+			fr.Emit(ktrace.EvVMFault, "vm", kind, addr|asid<<48)
 		}
 	})
 	s.Clock = ktime.NewClock(s.Kernel.CPU, layout, 133)

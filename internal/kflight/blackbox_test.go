@@ -1,0 +1,228 @@
+// E-BLACKBOX: the flight recorder against a real deadlock.  Two servers
+// that call each other are wired up on a booted system and a client is
+// sent in; the classic multi-server hang ("no progress, no message")
+// must come out of kflight as a named thread→port→thread cycle, and the
+// stall watchdog must find it on its own.  The false-positive gates run
+// on the same booted system: an idle boot never dumps, and a
+// saturated-but-progressing system never dumps.
+package kflight_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kflight"
+	"repro/internal/mach"
+	"repro/internal/monitor"
+)
+
+// bootT boots the default system and fails the test on error.
+func bootT(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.Boot(core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return sys
+}
+
+func TestEBlackboxCrossServerDeadlock(t *testing.T) {
+	sys := bootT(t)
+	k := sys.Kernel
+
+	// Two servers calling each other: ping's handler calls pong, pong's
+	// handler calls ping.  Each has exactly one serve thread, so one
+	// client request wedges both: ping's thread ends up in a reply wait
+	// on pong's port while pong's thread is stuck in rendezvous on
+	// ping's port (ping's only receiver is busy waiting on pong).
+	ping := k.NewTask("ping")
+	pong := k.NewTask("pong")
+	pingPort, err := ping.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pongPort, err := pong.AllocatePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pongInPing, err := ping.InsertRight(pong, pongPort, mach.DispMakeSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pingInPong, err := pong.InsertRight(ping, pingPort, mach.DispMakeSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		// Termination closes every thread's abort channel, unwinding the
+		// blocked selects; the goroutines exit with ErrAborted.
+		ping.Terminate()
+		pong.Terminate()
+	})
+
+	_, err = ping.Spawn("server", func(th *mach.Thread) {
+		_ = th.Serve(pingPort, func(req *mach.Message) *mach.Message {
+			_, _ = th.RPC(pongInPing, &mach.Message{ID: 0x0B10})
+			return &mach.Message{}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pong.Spawn("server", func(th *mach.Thread) {
+		_ = th.Serve(pongPort, func(req *mach.Message) *mach.Message {
+			_, _ = th.RPC(pingInPong, &mach.Message{ID: 0x0B20})
+			return &mach.Message{}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := k.NewTask("client")
+	t.Cleanup(client.Terminate)
+	clientRight, err := client.InsertRight(ping, pingPort, mach.DispMakeSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Spawn("caller", func(th *mach.Thread) {
+		_, _ = th.RPC(clientRight, &mach.Message{ID: 0x0B00})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wait-for graph must converge on the ping<->pong cycle.
+	var cycles [][]kflight.WaitEdge
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		cycles = kflight.FindCycles(k.WaitEdges())
+		if len(cycles) > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(cycles) == 0 {
+		t.Fatalf("no cycle found; edges: %v", k.WaitEdges())
+	}
+	named := kflight.RenderCycle(cycles[0])
+	for _, want := range []string{"ping", "pong"} {
+		if !strings.Contains(named, want) {
+			t.Errorf("cycle %q does not name task %q", named, want)
+		}
+	}
+	kinds := map[kflight.WaitKind]bool{}
+	for _, e := range cycles[0] {
+		kinds[e.Kind] = true
+	}
+	if !kinds[kflight.WaitReply] || !kinds[kflight.WaitRendezvous] {
+		t.Errorf("cycle kinds = %v, want a reply wait and a rendezvous wait", kinds)
+	}
+
+	// The watchdog must find the stall unprompted: no pool gauges are
+	// involved here, so the outstanding-work evidence is the RPC ledger
+	// (three dispatched calls, none resolved).
+	fired := make(chan *kflight.Dump, 1)
+	wd := kflight.NewWatchdog(kflight.WatchdogConfig{
+		Set:      sys.Stats,
+		Interval: 2 * time.Millisecond,
+		Stall:    25 * time.Millisecond,
+		Collect:  k.FlightDump,
+		OnStall: func(d *kflight.Dump) {
+			select {
+			case fired <- d:
+			default:
+			}
+		},
+	})
+	wd.Start()
+	defer wd.Stop()
+	var dump *kflight.Dump
+	select {
+	case dump = <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog did not fire on a real deadlock")
+	}
+
+	// The postmortem names the exact cycle and carries the flight rings.
+	if len(dump.Cycles) == 0 {
+		t.Fatal("watchdog dump has no cycles")
+	}
+	if !strings.Contains(dump.Reason, "no progress") {
+		t.Errorf("dump reason = %q", dump.Reason)
+	}
+	if dump.TotalEvents() == 0 {
+		t.Error("dump carries no flight-ring events")
+	}
+	var txt strings.Builder
+	if err := dump.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DEADLOCK", "ping", "pong"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text postmortem missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+func TestWatchdogIdleBootedSystemNeverDumps(t *testing.T) {
+	sys := bootT(t)
+	wd := kflight.NewWatchdog(kflight.WatchdogConfig{
+		Set:     sys.Stats,
+		Stall:   10 * time.Millisecond,
+		Collect: sys.Kernel.FlightDump,
+		OnStall: func(d *kflight.Dump) { t.Errorf("idle boot dumped: %s", d.Reason) },
+	})
+	// Drive the poll loop over hours of virtual quiet: a booted, settled
+	// system has no outstanding work (the RPC ledger balances and every
+	// gauge sits at zero), so long quiet is healthy.
+	now := time.Now()
+	for i := 0; i < 200; i++ {
+		now = now.Add(time.Minute)
+		wd.Check(now)
+	}
+	if wd.Fired() != 0 {
+		t.Fatalf("idle booted system fired %d stall dumps", wd.Fired())
+	}
+}
+
+func TestWatchdogProgressingBootedSystemNeverDumps(t *testing.T) {
+	sys := bootT(t)
+	// Pin a pool-style busy gauge so the system looks saturated the whole
+	// time; real monitor RPC traffic between polls keeps the progress
+	// counters moving, which must hold the watchdog off no matter how
+	// much virtual time passes between observations.
+	sys.Stats.Gauge("test.saturated.busy").Set(4)
+	b, err := sys.Names.Lookup("/servers/monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := sys.Kernel.NewTask("wd-client")
+	th, err := task.NewBoundThread("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := monitor.Connect(th, b.Task, b.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := kflight.NewWatchdog(kflight.WatchdogConfig{
+		Set:     sys.Stats,
+		Stall:   10 * time.Millisecond,
+		Collect: sys.Kernel.FlightDump,
+		OnStall: func(d *kflight.Dump) { t.Errorf("progressing system dumped: %s", d.Reason) },
+	})
+	now := time.Now()
+	wd.Check(now)
+	for i := 0; i < 50; i++ {
+		if _, _, err := c.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Minute)
+		wd.Check(now)
+	}
+	if wd.Fired() != 0 {
+		t.Fatalf("saturated-but-progressing system fired %d stall dumps", wd.Fired())
+	}
+}

@@ -1,0 +1,139 @@
+package kflight
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kstat"
+)
+
+// wdRig builds a watchdog over a synthetic kstat set, driven by explicit
+// Check calls (no real sleeps) through a virtual clock.
+type wdRig struct {
+	set   *kstat.Set
+	w     *Watchdog
+	now   time.Time
+	dumps []*Dump
+}
+
+func newWDRig(stall time.Duration) *wdRig {
+	r := &wdRig{set: kstat.NewSet(), now: time.Unix(1000, 0)}
+	r.w = NewWatchdog(WatchdogConfig{
+		Set:     r.set,
+		Stall:   stall,
+		Collect: func(reason string) *Dump { return &Dump{Reason: reason} },
+		OnStall: func(d *Dump) { r.dumps = append(r.dumps, d) },
+	})
+	// Seed the baseline the way Start does, without the poll goroutine.
+	r.w.primed = true
+	r.w.lastProg = r.w.progress()
+	r.w.stalledAt = r.now
+	return r
+}
+
+func (r *wdRig) tick(d time.Duration) {
+	r.now = r.now.Add(d)
+	r.w.Check(r.now)
+}
+
+func TestWatchdogIdleNeverFires(t *testing.T) {
+	r := newWDRig(time.Second)
+	// Hours of quiet with zero outstanding work: healthy, not a stall.
+	for i := 0; i < 100; i++ {
+		r.tick(time.Minute)
+	}
+	if r.w.Fired() != 0 {
+		t.Fatalf("idle watchdog fired %d times", r.w.Fired())
+	}
+}
+
+func TestWatchdogProgressNeverFires(t *testing.T) {
+	r := newWDRig(time.Second)
+	// Saturated (busy gauge pinned) but progressing: every poll sees the
+	// progress counters move, so the stall clock keeps resetting.
+	r.set.Gauge("mach.pool.files/service.busy").Set(3)
+	for i := 0; i < 100; i++ {
+		r.set.Counter("mach.rpc.replies").Inc()
+		r.tick(time.Minute)
+	}
+	if r.w.Fired() != 0 {
+		t.Fatalf("progressing watchdog fired %d times", r.w.Fired())
+	}
+}
+
+func TestWatchdogStallFiresOncePerEpisode(t *testing.T) {
+	r := newWDRig(time.Second)
+	r.set.Gauge("mach.pool.files/service.busy").Set(2)
+
+	// Below the stall threshold: armed but quiet.
+	r.tick(500 * time.Millisecond)
+	if r.w.Fired() != 0 {
+		t.Fatal("fired before the stall threshold")
+	}
+	// Past the threshold: exactly one dump, however long the stall drags.
+	r.tick(time.Second)
+	r.tick(time.Minute)
+	r.tick(time.Minute)
+	if r.w.Fired() != 1 {
+		t.Fatalf("fired %d times during one episode, want 1", r.w.Fired())
+	}
+	if len(r.dumps) != 1 || r.dumps[0].Reason == "" {
+		t.Fatalf("OnStall dumps = %v", r.dumps)
+	}
+
+	// Progress re-arms; a second stall is a second episode.
+	r.set.Counter("mach.rpc.replies").Inc()
+	r.tick(time.Millisecond)
+	r.tick(2 * time.Second)
+	if r.w.Fired() != 2 {
+		t.Fatalf("second episode: fired %d times total, want 2", r.w.Fired())
+	}
+}
+
+func TestWatchdogIdleGapThenStall(t *testing.T) {
+	r := newWDRig(time.Second)
+	// A long idle gap must not pre-age the stall clock: work that appears
+	// after the gap gets the full stall budget.
+	for i := 0; i < 10; i++ {
+		r.tick(time.Minute)
+	}
+	r.set.Gauge("mach.portset.files/1.pending").Set(1)
+	r.tick(500 * time.Millisecond)
+	if r.w.Fired() != 0 {
+		t.Fatal("fired before new work aged past the threshold")
+	}
+	r.tick(time.Second)
+	if r.w.Fired() != 1 {
+		t.Fatalf("fired %d, want 1 after the threshold", r.w.Fired())
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	set := kstat.NewSet()
+	w := NewWatchdog(WatchdogConfig{Set: set, Interval: time.Millisecond, Stall: time.Hour})
+	w.Start()
+	w.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	w.Stop()
+	w.Stop() // idempotent
+	if w.Fired() != 0 {
+		t.Fatalf("quiet system fired %d times", w.Fired())
+	}
+}
+
+func TestWatchdogFallbackDump(t *testing.T) {
+	// No Collect closure: the watchdog still delivers a reason-only dump.
+	set := kstat.NewSet()
+	set.Gauge("x.busy").Set(1)
+	var got *Dump
+	w := NewWatchdog(WatchdogConfig{
+		Set: set, Stall: time.Second,
+		OnStall: func(d *Dump) { got = d },
+	})
+	now := time.Unix(0, 0)
+	w.Check(now)
+	w.Check(now.Add(2 * time.Second))
+	if got == nil || got.Reason == "" {
+		t.Fatalf("fallback dump = %+v", got)
+	}
+}

@@ -67,6 +67,9 @@ const (
 	// EvCache is a file-server buffer-cache operation (hit, miss,
 	// read-ahead fill or write-back).
 	EvCache
+	// EvSched is an SMP scheduler dispatch (burst placement on an
+	// engine), recorded by the kflight flight recorder.
+	EvSched
 )
 
 var eventNames = [...]string{
@@ -75,6 +78,7 @@ var eventNames = [...]string{
 	EvPageOut: "page_out", EvASSwitch: "as_switch", EvDriverIO: "driver_io",
 	EvInterrupt: "interrupt", EvNameLookup: "name_lookup", EvFSOp: "fs_op",
 	EvNetOp: "net_op", EvTask: "task", EvAPI: "api", EvCache: "cache",
+	EvSched: "sched",
 }
 
 func (t EventType) String() string {

@@ -1,0 +1,112 @@
+package mach
+
+import (
+	"sort"
+
+	"repro/internal/kflight"
+	"repro/internal/kstat"
+)
+
+// Structural introspection for the kflight diagnosis plane.  The wait-for
+// graph's *types and analysis* live in internal/kflight (so the monitor,
+// chaos harness and CLI consume dumps without importing the kernel); the
+// *registration* lives here, because only the kernel knows what a blocked
+// thread is blocked on: every blocking select of the RPC path
+// (rendezvous, reply wait, receive, set receive) and the queued-IPC
+// condition waits brackets itself with setWait/clearWait, and WaitEdges
+// resolves the registered ports to their owning tasks at snapshot time.
+//
+// Registration is always-on and observation-only: one atomic pointer
+// store per blocking point, no cost-model charges, no locks.  The pager
+// never registers — its PageIn/PageOut are synchronous calls inside the
+// faulting thread's kernel entry, so a thread stuck in paging surfaces as
+// the enclosing RPC wait (see DESIGN.md).
+
+// flightWait records what one blocked thread is waiting on.
+type flightWait struct {
+	kind kflight.WaitKind
+	port *Port    // the port (or nil for a set wait)
+	set  *PortSet // the port set (set-receive only)
+	op   uint32   // in-flight message ID, when the wait carries one
+}
+
+// setWait registers the thread's current blocking point.
+func (th *Thread) setWait(kind kflight.WaitKind, port *Port, set *PortSet, op uint32) {
+	th.wait.Store(&flightWait{kind: kind, port: port, set: set, op: op})
+}
+
+// clearWait removes the registration; the thread is running again.
+func (th *Thread) clearWait() { th.wait.Store(nil) }
+
+// WaitEdges materializes the wait-for graph: one edge per blocked thread,
+// thread → port → owning task, resolved at snapshot time so an edge
+// always names the port's *current* receiver.  Edges are sorted for
+// deterministic dumps.
+func (k *Kernel) WaitEdges() []kflight.WaitEdge {
+	var out []kflight.WaitEdge
+	for _, t := range k.Tasks() {
+		for _, th := range t.ThreadsSnapshot() {
+			w := th.wait.Load()
+			if w == nil {
+				continue
+			}
+			e := kflight.WaitEdge{
+				Task: t.name, TaskID: uint32(t.id),
+				Thread: th.name, ThreadID: uint32(th.id),
+				Kind: w.kind, Op: w.op,
+			}
+			switch {
+			case w.port != nil:
+				e.PortID = w.port.id
+				if rt := w.port.receiverTask(); rt != nil {
+					e.OwnerTask, e.OwnerTaskID = rt.name, uint32(rt.id)
+				}
+			case w.set != nil:
+				e.PortID = w.set.id
+				e.OwnerTask, e.OwnerTaskID = w.set.task.name, uint32(w.set.task.id)
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TaskID != out[j].TaskID {
+			return out[i].TaskID < out[j].TaskID
+		}
+		return out[i].ThreadID < out[j].ThreadID
+	})
+	return out
+}
+
+// FlightSched snapshots the scheduler for a dump (nil on single-CPU
+// kernels).
+func (k *Kernel) FlightSched() []kflight.EngineSnap {
+	stats := k.SchedStats()
+	if stats == nil {
+		return nil
+	}
+	out := make([]kflight.EngineSnap, 0, len(stats))
+	for _, es := range stats {
+		out = append(out, kflight.EngineSnap{
+			Slot: es.Slot, Cycles: es.Cycles, RunQueue: es.RunQueue,
+			Reserved: es.Reserved, Dispatches: es.Dispatches,
+			Migrations: es.Migrations, Steals: es.Steals,
+		})
+	}
+	return out
+}
+
+// FlightDump assembles the postmortem dump for this kernel: the flight
+// rings, the wait-for graph with cycles named, scheduler state, and the
+// kstat fabric.  Returns nil when no recorder is attached (the monitor
+// maps that to ErrNoRecorder).
+func (k *Kernel) FlightDump(reason string) *kflight.Dump {
+	rec := kflight.For(k.CPU)
+	if rec == nil {
+		return nil
+	}
+	var stats kstat.Snapshot
+	if st := kstat.For(k.CPU); st != nil {
+		stats = st.Snapshot()
+	}
+	return kflight.Collect(reason, rec, k.WaitEdges(), k.FlightSched(), stats)
+}

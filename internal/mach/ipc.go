@@ -3,6 +3,7 @@ package mach
 import (
 	"fmt"
 
+	"repro/internal/kflight"
 	"repro/internal/ktrace"
 )
 
@@ -93,7 +94,11 @@ func (th *Thread) MachMsgSend(dest PortName, msg *Message, opts MsgOption) error
 			k.rti()
 			return ErrQueueFull
 		}
+		// A full-queue block is a real dependency edge: the sender waits
+		// on the receiver draining the queue.
+		th.setWait(kflight.WaitQueueSend, port, nil, uint32(msg.ID))
 		port.notFull.Wait()
+		th.clearWait()
 	}
 	if port.dead {
 		port.mu.Unlock()
@@ -145,7 +150,9 @@ func (th *Thread) MachMsgReceive(recvName PortName, opts MsgOption) (*Message, e
 			k.rti()
 			return nil, ErrTimeout
 		}
+		th.setWait(kflight.WaitQueueRecv, port, nil, 0)
 		aborted := waitOrAbort(port, th)
+		th.clearWait()
 		if aborted {
 			port.mu.Unlock()
 			k.rti()

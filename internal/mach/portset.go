@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/kflight"
 	"repro/internal/kstat"
 )
 
@@ -226,6 +227,7 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 		return nil, nil, NullName, ErrNotReceiver
 	}
 	k := th.task.kernel
+	th.setWait(kflight.WaitSetReceive, nil, ps, 0)
 	var d setDelivery
 	select {
 	case d = <-ps.ch:
@@ -233,10 +235,13 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 			st.Gauge(ps.pendFam).Dec()
 		}
 	case <-th.abort:
+		th.clearWait()
 		return nil, nil, NullName, ErrAborted
 	case <-ps.deadCh:
+		th.clearWait()
 		return nil, nil, NullName, ErrDeadPort
 	}
+	th.clearWait()
 	// One scheduled burst covers receive, handler and reply, as in
 	// RPCReceive; the release rides in the Responder.  The burst
 	// serializes on the pool's virtual capacity — not on th's own

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/kflight"
 	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
@@ -89,20 +90,37 @@ func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (
 // wrapped path costs exactly what the raw path does; the per-call
 // instr/cycles deltas are exact for serial callers and interleave under
 // concurrency (counts and bytes stay exact either way).
-func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time) (*Message, error) {
+func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time) (m *Message, err error) {
 	k := th.task.kernel
 	st := kstat.For(k.CPU)
 	pr := kprof.For(k.CPU)
-	if st == nil && pr == nil {
+	fr := kflight.For(k.CPU)
+	if st == nil && pr == nil && fr == nil {
 		return th.rpcCallRaw(dest, req, deadline)
 	}
 	// Charge-free destination-server lookup, shared by the kstat
-	// per-destination split and the kprof dispatch context frame.
+	// per-destination split, the kprof dispatch context frame, and the
+	// flight recorder's call event.
 	srvName := ""
 	if e, lerr := th.task.ports.lookup(dest, RightSend); lerr == nil {
 		if rt := e.port.receiverTask(); rt != nil {
 			srvName = rt.name
 		}
+	}
+	if fr != nil {
+		name := srvName
+		if name == "" {
+			name = "?"
+		}
+		fr.Emit(ktrace.EvRPC, "mach.rpc", "call:"+name, uint64(req.ID))
+		// Named returns let the outcome event see how the call resolved.
+		defer func() {
+			if err != nil {
+				fr.Emit(ktrace.EvRPC, "mach.rpc", "error:"+name+":"+err.Error(), uint64(req.ID))
+			} else {
+				fr.Emit(ktrace.EvRPC, "mach.rpc", "reply:"+name, uint64(req.ID))
+			}
+		}()
 	}
 	if pr != nil {
 		frame := "rpc:?"
@@ -124,7 +142,7 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 		st.Counter("mach.rpc.to." + srvName + ".calls").Inc()
 	}
 	base := k.CPU.Counters()
-	m, err := th.rpcCallRaw(dest, req, deadline)
+	m, err = th.rpcCallRaw(dest, req, deadline)
 	d := k.CPU.Counters().Sub(base)
 	st.Counter("mach.rpc.instr").Add(d.Instructions)
 	st.Counter("mach.rpc.cycles").Add(d.Cycles)
@@ -209,9 +227,13 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 		gone:    make(chan struct{}),
 	}
 
-	// The client blocks for the rendezvous: its burst ends here.
+	// The client blocks for the rendezvous: its burst ends here.  Both
+	// blocking points register with the flight recorder's wait-for graph;
+	// the deferred clear covers every return path.
 	release()
+	defer th.clearWait()
 
+	th.setWait(kflight.WaitRendezvous, port, nil, uint32(req.ID))
 	select {
 	case port.rpc <- ex:
 	case <-port.rpcClosed():
@@ -226,6 +248,7 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 		th.task.ports.consumeSendOnce(dest)
 	}
 
+	th.setWait(kflight.WaitReply, port, nil, uint32(req.ID))
 	var out rpcOutcome
 	select {
 	case out = <-ex.reply:
@@ -240,6 +263,7 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 		// buffered outcome is already in flight, so take it.
 		out = <-ex.reply
 	}
+	th.clearWait()
 	if out.err != nil {
 		return nil, out.err
 	}
@@ -273,13 +297,23 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 		return nil, nil, ErrNotReceiver
 	}
 
+	// A parked server thread registers as a receive wait; receive-side
+	// kinds never form dependency edges (they are capacity, not demand),
+	// but the dump lists them so "who is idle" is visible postmortem.
+	th.setWait(kflight.WaitReceive, port, nil, 0)
 	var ex *rpcExchange
 	select {
 	case ex = <-port.rpc:
 	case <-port.rpcClosed():
+		th.clearWait()
 		return nil, nil, ErrDeadPort
 	case <-th.abort:
+		th.clearWait()
 		return nil, nil, ErrAborted
+	}
+	th.clearWait()
+	if fr := kflight.For(k.CPU); fr != nil {
+		fr.Emit(ktrace.EvRPCServe, "mach.rpc", "recv:"+th.task.name, uint64(ex.request.ID))
 	}
 
 	// The server side of the hand-off: load the server's address space,

@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/kflight"
 	"repro/internal/kstat"
+	"repro/internal/ktrace"
 )
 
 // sched is the runnable-thread dispatcher of a multi-engine kernel.  A
@@ -335,6 +337,10 @@ func (s *sched) place(th *Thread, pool *vtPool, ready uint64) func() {
 		}
 	}
 	se.dispatches.Add(1)
+	if fr := kflight.For(s.k.CPU); fr != nil {
+		// The Bind above routes this emit's cycle stamp to se's slot.
+		fr.Emit(ktrace.EvSched, "mach.sched", "dispatch:"+th.task.name, uint64(se.slot))
+	}
 	return func() {
 		cyc := s.cx.EngineCounters(se.slot).Cycles
 		length := cyc - base

@@ -178,6 +178,12 @@ type Thread struct {
 	// thread's own clock.  Written once on the worker's own goroutine
 	// before its first receive, read only by that goroutine.
 	poolVT *vtPool
+
+	// wait is the thread's registered blocking point (nil while running):
+	// the structural-introspection hook behind the kflight wait-for
+	// graph.  Written by the thread around its own blocking selects, read
+	// by Kernel.WaitEdges from any goroutine.
+	wait atomic.Pointer[flightWait]
 }
 
 // syncVT advances the thread's virtual clock to at least v: the thread

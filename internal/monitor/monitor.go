@@ -12,12 +12,14 @@
 package monitor
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"sync"
 
 	"repro/internal/cpu"
+	"repro/internal/kflight"
 	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/mach"
@@ -31,6 +33,7 @@ const (
 	MsgProfStart
 	MsgProfStop
 	MsgProfile
+	MsgFlightDump
 )
 
 // Errors returned by the monitor.
@@ -38,6 +41,7 @@ var (
 	ErrUnknownBaseline = errors.New("monitor: unknown or evicted snapshot id")
 	ErrBadRequest      = errors.New("monitor: malformed request")
 	ErrNoProfiler      = errors.New("monitor: no profiler attached (ProfStart first)")
+	ErrNoRecorder      = errors.New("monitor: no flight recorder attached")
 )
 
 // maxBaselines bounds the server's retained delta baselines; the oldest
@@ -138,6 +142,21 @@ func (s *Server) handle(req *mach.Message) *mach.Message {
 			return toWire(err)
 		}
 		return &mach.Message{ID: 0, OOL: b}
+	case MsgFlightDump:
+		// The dump is assembled by the kernel (flight rings, wait-for
+		// graph, scheduler state, kstat fabric) and shipped as JSON in the
+		// OOL region like every other large monitor payload.  The handling
+		// thread itself shows up in the dump — blocked clients of this very
+		// query appear as reply waits on the monitor port.
+		d := s.k.FlightDump("monitor query")
+		if d == nil {
+			return toWire(ErrNoRecorder)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			return toWire(err)
+		}
+		return &mach.Message{ID: 0, OOL: buf.Bytes()}
 	default:
 		return toWire(ErrBadRequest)
 	}
@@ -179,7 +198,7 @@ func snapReply(id uint64, snap kstat.Snapshot) *mach.Message {
 	return &mach.Message{ID: 0, Body: idb[:], OOL: b}
 }
 
-var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest, ErrNoProfiler}
+var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest, ErrNoProfiler, ErrNoRecorder}
 
 func toWire(err error) *mach.Message {
 	return &mach.Message{ID: 1, Body: []byte(err.Error())}
@@ -291,4 +310,19 @@ func (c *Client) Profile() (kprof.Profile, error) {
 		return kprof.Profile{}, err
 	}
 	return p, nil
+}
+
+// FlightDump fetches a live postmortem dump from the flight recorder:
+// per-engine event rings, the wait-for graph with any cycles named,
+// scheduler state and the full kstat snapshot.  ErrNoRecorder when the
+// system runs with the recorder detached.
+func (c *Client) FlightDump() (*kflight.Dump, error) {
+	reply, err := c.th.Call(c.port, &mach.Message{ID: MsgFlightDump}, mach.CallOpts{})
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != 0 {
+		return nil, fromWire(string(reply.Body))
+	}
+	return kflight.ReadDump(bytes.NewReader(reply.OOL))
 }

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Black-box smoke: boot wpos, run the file workload, fetch a flight dump
+# over the monitor server's RPC (cmd/kflight is a monitor client), and
+# verify the diagnosis plane saw the run: every engine's ring buffered
+# events and the wait-for graph carries at least one edge (the classic
+# serve threads park in their receives, so a live system is never empty).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go run ./cmd/kflight -cpus 2 -workload file1 -format text)
+echo "$out"
+echo
+
+edges=$(echo "$out" | sed -n 's/^wait-for edges (\([0-9]*\) total.*/\1/p')
+if [ -z "$edges" ] || [ "$edges" -lt 1 ]; then
+	echo "blackbox smoke: wait-for graph is empty (edges=${edges:-none})" >&2
+	exit 1
+fi
+
+for e in 0 1; do
+	buffered=$(echo "$out" | sed -n "s/^engine $e: \([0-9]*\) events buffered.*/\1/p")
+	if [ -z "$buffered" ] || [ "$buffered" -le 0 ]; then
+		echo "blackbox smoke: engine $e ring buffered no events" >&2
+		exit 1
+	fi
+done
+
+if ! echo "$out" | grep -q '^no cycles in the wait-for graph$'; then
+	echo "blackbox smoke: a healthy boot reported a deadlock cycle" >&2
+	exit 1
+fi
+
+echo "blackbox smoke ok: $edges wait edges, both engine rings populated, no false deadlocks"

@@ -8,7 +8,10 @@
 # bcache is hit by every file-server pool thread at once; kprof's charge
 # sink and context stack are driven from every charging thread at once;
 # cpu's Complex routes every charge through a per-OS-thread binding table
-# while the SMP dispatcher binds/steals from many goroutines at once).
+# while the SMP dispatcher binds/steals from many goroutines at once;
+# kflight's lock-free rings are swept by dump queries racing live
+# emitters while the watchdog polls the kstat fabric from its own
+# goroutine).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -16,10 +19,16 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
+go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/kflight/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
 
 # Chaos short soak under the race detector: one seed, all six fault kinds,
 # full invariant oracle.  Kept -short so the race-instrumented run stays in
 # CI budget; `make chaos` runs the same corpus without instrumentation and
 # a failure in either prints the -chaos.seed flags for deterministic replay.
 go test -race ./internal/chaos/ -short -run 'TestChaosSoak|TestChaosSingleCPU'
+
+# Benchmark gate: regenerate Table 1 and fail on any WPOS/native ratio
+# drifting more than 5% above the committed BENCH_baseline.json — the
+# always-on flight recorder must stay invisible to the cost model here
+# just as the bit-identical tests require.
+sh scripts/benchgate.sh
