@@ -46,11 +46,12 @@ func emit(table, name, metric string, measured, paper float64) {
 }
 
 func main() {
-	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, fig1, extras, cache, smp (default all but cache and smp)")
+	only := flag.String("only", "", "which artifact to regenerate: 1, 2, ipc, xfer, fig1, extras, cache, smp (default all but cache and smp)")
 	cache := flag.Int("cache", 0, "file-server buffer cache size in sectors for Table 1 (0 = off, the paper's configuration)")
 	jsonPath := flag.String("json", "", "also write the regenerated numbers as JSON records to this path")
 	statsPath := flag.String("stats", "", "write the per-workload kstat metrics appendix as JSON to this path")
 	gatePath := flag.String("gate", "", "compare Table 1 ratios against this baseline JSON and exit nonzero on a >5% regression")
+	gateXferFlag := flag.Bool("gatexfer", false, "assert the E-XFER crossover cells of this run (use with -only xfer) and exit nonzero when a transfer mode stops winning where it must")
 	flag.Parse()
 	run := func(name string) bool { return *only == "" || *only == name }
 	if run("fig1") {
@@ -64,6 +65,9 @@ func main() {
 	}
 	if run("ipc") {
 		ipcSweep()
+	}
+	if run("xfer") {
+		xferSweep()
 	}
 	if run("extras") {
 		extras()
@@ -83,6 +87,80 @@ func main() {
 	if *gatePath != "" {
 		gate(*gatePath)
 	}
+	if *gateXferFlag {
+		gateXfer()
+	}
+}
+
+// gateXfer asserts the E-XFER crossover structure on this run's records:
+// copying must win below a page, region transfer must win from a page
+// up (it charges per page mapped, never per byte), batching must
+// amortize the crossing cost of small transfers, and the file-intensive
+// ratios must not regress with the features on.  These are
+// self-consistency cells — no baseline file, since the claim is about
+// the shape of the sweep, not its absolute level.
+func gateXfer() {
+	cells := map[string]map[string]float64{}
+	for _, r := range records {
+		if r.Table != "exfer" {
+			continue
+		}
+		if cells[r.Name] == nil {
+			cells[r.Name] = map[string]float64{}
+		}
+		cells[r.Name][r.Metric] = r.Measured
+	}
+	if len(cells) == 0 {
+		fail(fmt.Errorf("gatexfer: this run produced no E-XFER records (use -only xfer)"))
+	}
+	fmt.Println("E-XFER gate: transfer-mode crossover cells")
+	fmt.Println()
+	failures := 0
+	check := func(ok bool, format string, a ...any) {
+		status := "ok"
+		if !ok {
+			status = "FAILED"
+			failures++
+		}
+		fmt.Printf("  %-7s %s\n", status, fmt.Sprintf(format, a...))
+	}
+	cell := func(name, metric string) float64 {
+		m, ok := cells[name]
+		if !ok {
+			fail(fmt.Errorf("gatexfer: no %q records", name))
+		}
+		v, ok := m[metric]
+		if !ok {
+			fail(fmt.Errorf("gatexfer: no %s/%s record", name, metric))
+		}
+		return v
+	}
+	for _, size := range []int{32, 256} {
+		n := fmt.Sprintf("%d bytes", size)
+		check(cell(n, "copy_cycles") < cell(n, "region_cycles"),
+			"copy beats region at %s (%.0f < %.0f): per-page map cost dominates small payloads", n,
+			cell(n, "copy_cycles"), cell(n, "region_cycles"))
+		check(cell(n, "batched_cycles") < cell(n, "copy_cycles"),
+			"batching beats one-call-per-op at %s (%.0f < %.0f): crossing cost amortized", n,
+			cell(n, "batched_cycles"), cell(n, "copy_cycles"))
+	}
+	for _, size := range []int{4096, 16384, 65536} {
+		n := fmt.Sprintf("%d bytes", size)
+		check(cell(n, "region_cycles") < cell(n, "copy_cycles"),
+			"region beats copy at %s (%.0f < %.0f): zero per-byte cost from a page up", n,
+			cell(n, "region_cycles"), cell(n, "copy_cycles"))
+	}
+	check(cell("fi1_cache256", "ratio_on") <= cell("fi1_cache256", "ratio_off"),
+		"FI1 ratio with features on (%.4f) no worse than off (%.4f)",
+		cell("fi1_cache256", "ratio_on"), cell("fi1_cache256", "ratio_off"))
+	check(cell("fi2_cache256", "ratio_on") <= cell("fi2_cache256", "ratio_off"),
+		"FI2 ratio with features on (%.4f) no worse than off (%.4f)",
+		cell("fi2_cache256", "ratio_on"), cell("fi2_cache256", "ratio_off"))
+	if failures > 0 {
+		fmt.Printf("\ngatexfer: %d crossover cell(s) violated\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\ngatexfer: all crossover cells hold")
 }
 
 // gateTolerance is the allowed relative growth of a Table 1 ratio before
@@ -347,6 +425,38 @@ func ipcSweep() {
 		fmt.Printf("%10d %14d %14d %9.2fx\n", p.Size, p.OldCycles, p.NewCycles, p.Speedup)
 		emit("ipc", fmt.Sprintf("%d bytes", p.Size), "speedup", p.Speedup, 0)
 	}
+	fmt.Println()
+}
+
+func xferSweep() {
+	rows, err := bench.XferSweep()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("E-XFER: bulk-transfer modes, cycles per transferred payload")
+	fmt.Println("(copy = payload copied inline/out-of-line; region = mapped by shared-memory")
+	fmt.Printf(" descriptor, per-page map cost, zero per-byte copy; batched = %d sub-requests\n", bench.XferBatch)
+	fmt.Println(" per carrier crossing, cycles shown per sub-request)")
+	fmt.Println()
+	fmt.Printf("%10s %14s %14s %14s\n", "bytes", "copy (cyc)", "region (cyc)", "batched (cyc)")
+	for _, r := range rows {
+		fmt.Printf("%10d %14d %14d %14d\n", r.Size, r.Copy, r.Region, r.Batched)
+		name := fmt.Sprintf("%d bytes", r.Size)
+		emit("exfer", name, "copy_cycles", float64(r.Copy), 0)
+		emit("exfer", name, "region_cycles", float64(r.Region), 0)
+		emit("exfer", name, "batched_cycles", float64(r.Batched), 0)
+	}
+	fmt.Println()
+	fi, err := bench.XferFI(256)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("file-intensive ratios at a %d-sector cache, features off -> on:\n", fi.CacheSectors)
+	fmt.Printf("  FI1 %.4f -> %.4f   FI2 %.4f -> %.4f\n", fi.OffFI1, fi.OnFI1, fi.OffFI2, fi.OnFI2)
+	emit("exfer", "fi1_cache256", "ratio_off", fi.OffFI1, 0)
+	emit("exfer", "fi1_cache256", "ratio_on", fi.OnFI1, 0)
+	emit("exfer", "fi2_cache256", "ratio_off", fi.OffFI2, 0)
+	emit("exfer", "fi2_cache256", "ratio_on", fi.OnFI2, 0)
 	fmt.Println()
 }
 

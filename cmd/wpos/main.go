@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N] [-cache SECTORS] [-cpus N]
+//	wpos [-driver user|kernel|ooddm] [-mem MB] [-simple-names] [-pool N] [-cache SECTORS] [-cpus N] [-zerocopy] [-batch]
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 	pool := flag.Int("pool", 1, "server threads per RPC server (Release 2 multi-threaded servers when > 1)")
 	cache := flag.Int("cache", 0, "file-server buffer cache size in sectors (0 = off, the seed path)")
 	cpus := flag.Int("cpus", 1, "number of processing engines (SMP complex when > 1)")
+	zerocopy := flag.Bool("zerocopy", false, "move page-sized file payloads by out-of-line region descriptor (zero per-byte copy)")
+	batch := flag.Bool("batch", false, "vector hot-path RPC batches (readdir+stat, write-behind flush) into single crossings")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -33,6 +35,8 @@ func main() {
 	cfg.SimpleNames = *simple
 	cfg.ServerPool = *pool
 	cfg.CacheSectors = *cache
+	cfg.ZeroCopy = *zerocopy
+	cfg.BatchRPC = *batch
 	switch *driver {
 	case "kernel":
 		cfg.Driver = core.DriverKernel

@@ -66,6 +66,17 @@ type IOConfig struct {
 	CacheReadAhead int
 	// CacheDirtyMax bounds the write-behind list (0 = bcache default).
 	CacheDirtyMax int
+	// ZeroCopy moves bulk payloads of at least a page on the file and
+	// driver protocols by shared-memory region descriptor — per-page map
+	// cost, zero per-byte copy cycles — instead of copied out-of-line
+	// memory.  Off (the default) keeps the seed's copy semantics, cycle
+	// for cycle.
+	ZeroCopy bool
+	// BatchRPC enables vectored RPC batching: batched stat and
+	// readdir+stat on the file protocol, and one-crossing vectored
+	// write-behind flushes from the buffer cache to the user-level
+	// driver.  Off keeps the classic one-crossing-per-op paths.
+	BatchRPC bool
 }
 
 // ServerConfig groups the multi-server structure knobs.
@@ -265,12 +276,21 @@ func Boot(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ZeroCopy || cfg.BatchRPC {
+		if ub, ok := s.Block.(*drivers.UserBlockDriver); ok {
+			ub.SetTransfer(cfg.ZeroCopy, cfg.BatchRPC)
+		}
+		log("transfer: zero-copy=%v vectored-batch=%v", cfg.ZeroCopy, cfg.BatchRPC)
+	}
 	log("block driver: %s", s.Block.Model())
 
 	// 5. Shared services: the file server over the driver, networking.
 	s.Files, err = vfs.NewServer(s.Kernel, cfg.ServerPool)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ZeroCopy || cfg.BatchRPC {
+		s.Files.SetTransfer(vfs.Transfer{ZeroCopy: cfg.ZeroCopy, Batch: cfg.BatchRPC})
 	}
 	// Unified buffer cache: when configured, every device-backed volume
 	// mounted below gets a write-behind sector cache interposed inside
@@ -296,7 +316,16 @@ func Boot(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	bootDev := drivers.NewSectorDev(s.Block, diskTh, cfg.DiskSectors)
+	// The boot device: batch-enabled boots bind the vectored adapter
+	// (which advertises vfs.BatchDev to the buffer cache); everything
+	// else gets the classic adapter so features-off boots never take a
+	// vectored path.
+	var bootDev vfs.BlockDev
+	if ub, ok := s.Block.(drivers.BatchDriver); ok && cfg.BatchRPC {
+		bootDev = drivers.NewVectorSectorDev(ub, diskTh, cfg.DiskSectors)
+	} else {
+		bootDev = drivers.NewSectorDev(s.Block, diskTh, cfg.DiskSectors)
+	}
 	if err := fat.Format(bootDev); err != nil {
 		return nil, err
 	}

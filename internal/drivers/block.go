@@ -11,6 +11,7 @@ import (
 	"repro/internal/ktrace"
 	"repro/internal/mach"
 	"repro/internal/objsys"
+	"repro/internal/vfs"
 )
 
 // traceIO opens a driver-I/O span when tracing is attached to the engine.
@@ -113,8 +114,35 @@ type UserBlockDriver struct {
 	disk *Disk
 	path cpu.Region
 
+	// Bulk-transfer features, fixed at boot (see SetTransfer).
+	zeroCopy bool
+	batch    bool
+
 	mu    sync.Mutex
 	names map[mach.TaskID]mach.PortName
+}
+
+// SetTransfer configures the driver protocol's bulk-transfer features.
+// With zeroCopy on, sector payloads of at least a page move by
+// shared-memory region descriptor (mapped, never copied) in both
+// directions; with batch on, WriteSectorsV commits several runs in one
+// vectored RPC crossing.  Like vfs.Server.SetTransfer this is a
+// boot-time switch: call it before the driver sees traffic, never
+// concurrently with requests.
+func (d *UserBlockDriver) SetTransfer(zeroCopy, batch bool) {
+	d.zeroCopy = zeroCopy
+	d.batch = batch
+}
+
+// payload returns a message's bulk data regardless of placement: the
+// first region descriptor when the peer sent one, the out-of-line
+// buffer otherwise.  Accepting both keeps zero-copy and copying peers
+// interoperable on the one wire protocol.
+func payload(m *mach.Message) []byte {
+	if len(m.Regions) > 0 {
+		return m.Regions[0].Payload()
+	}
+	return m.OOL
 }
 
 // NewUserBlockDriver starts the driver task and its service loop of pool
@@ -168,10 +196,13 @@ func (d *UserBlockDriver) handle(req *mach.Message) *mach.Message {
 		if err := d.disk.ReadSectors(sector, buf); err != nil {
 			return &mach.Message{ID: 1, Body: []byte(err.Error())}
 		}
+		if d.zeroCopy && len(buf) >= mach.PageSize {
+			return &mach.Message{ID: 0, Regions: []mach.RegionDesc{{Len: uint64(len(buf)), Data: buf}}}
+		}
 		return &mach.Message{ID: 0, OOL: buf}
 	case msgWrite:
 		sector := beU64(req.Body[0:8])
-		if err := d.disk.WriteSectors(sector, req.OOL); err != nil {
+		if err := d.disk.WriteSectors(sector, payload(req)); err != nil {
 			return &mach.Message{ID: 1, Body: []byte(err.Error())}
 		}
 		return &mach.Message{ID: 0}
@@ -217,7 +248,22 @@ func (d *UserBlockDriver) ReadSectors(caller *mach.Thread, sector uint64, count 
 	if reply.ID != 0 {
 		return nil, fmt.Errorf("drivers: %s", reply.Body)
 	}
-	return reply.OOL, nil
+	return payload(reply), nil
+}
+
+// writeMsg builds a msgWrite request for one sector run, placing the
+// payload by region descriptor when zero-copy is on and the run is at
+// least a page, out of line otherwise.
+func (d *UserBlockDriver) writeMsg(sector uint64, data []byte) *mach.Message {
+	body := make([]byte, 16)
+	putU64(body[0:8], sector)
+	m := &mach.Message{ID: msgWrite, Body: body}
+	if d.zeroCopy && len(data) >= mach.PageSize {
+		m.Regions = []mach.RegionDesc{{Len: uint64(len(data)), Data: data}}
+	} else {
+		m.OOL = data
+	}
+	return m
 }
 
 // WriteSectors implements BlockDriver via RPC to the driver task.
@@ -228,9 +274,7 @@ func (d *UserBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data 
 	if err != nil {
 		return err
 	}
-	body := make([]byte, 16)
-	putU64(body[0:8], sector)
-	reply, err := caller.Call(n, &mach.Message{ID: msgWrite, Body: body, OOL: data}, mach.CallOpts{})
+	reply, err := caller.Call(n, d.writeMsg(sector, data), mach.CallOpts{})
 	if err != nil {
 		return err
 	}
@@ -238,6 +282,50 @@ func (d *UserBlockDriver) WriteSectors(caller *mach.Thread, sector uint64, data 
 		return fmt.Errorf("drivers: %s", reply.Body)
 	}
 	return nil
+}
+
+// WriteSectorsV commits several discontiguous sector runs through the
+// driver in one vectored RPC: a carrier message crosses once and each
+// run rides as a msgWrite sub-message, so the whole write-behind flush
+// costs one dispatch and one address-space round trip.  The count
+// reports how many runs were committed before the first error, so the
+// buffer cache keeps exactly the unwritten runs dirty for retry.
+// Without batch negotiated it degrades to one RPC per run.
+func (d *UserBlockDriver) WriteSectorsV(caller *mach.Thread, runs []vfs.SectorRun) (int, error) {
+	if len(runs) == 0 {
+		return 0, nil
+	}
+	if !d.batch {
+		for i, r := range runs {
+			if err := d.WriteSectors(caller, r.Sector, r.Data); err != nil {
+				return i, err
+			}
+		}
+		return len(runs), nil
+	}
+	sp := traceIO(d.k, "udrv:writev")
+	defer sp.End()
+	n, err := d.portFor(caller)
+	if err != nil {
+		return 0, err
+	}
+	reqs := make([]*mach.Message, len(runs))
+	for i, r := range runs {
+		reqs[i] = d.writeMsg(r.Sector, r.Data)
+	}
+	replies, err := caller.CallV(n, reqs, mach.CallOpts{})
+	if err != nil {
+		return 0, err
+	}
+	for i, reply := range replies {
+		if reply.ID != 0 {
+			// Later runs may also have landed (the handler sees every
+			// sub), but reporting the first failure index is safe: a
+			// retried run rewrites identical sectors.
+			return i, fmt.Errorf("drivers: %s", reply.Body)
+		}
+	}
+	return len(runs), nil
 }
 
 // Model implements BlockDriver.

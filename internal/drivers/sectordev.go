@@ -1,11 +1,13 @@
 package drivers
 
-import "repro/internal/mach"
+import (
+	"repro/internal/mach"
+	"repro/internal/vfs"
+)
 
 // SectorDev adapts a BlockDriver (whose operations need a calling
 // thread) to the thread-less sector-device interface the file systems
-// and the buffer cache consume (vfs.BlockDev, satisfied structurally so
-// drivers does not depend on vfs).
+// and the buffer cache consume (vfs.BlockDev).
 type SectorDev struct {
 	drv     BlockDriver
 	th      *mach.Thread
@@ -34,3 +36,36 @@ func (d *SectorDev) WriteSectors(sector uint64, data []byte) error {
 
 // Sectors returns the device size.
 func (d *SectorDev) Sectors() uint64 { return d.sectors }
+
+// BatchDriver is a BlockDriver whose implementation can commit several
+// sector runs in one vectored RPC crossing (the user-level driver).
+type BatchDriver interface {
+	BlockDriver
+	WriteSectorsV(caller *mach.Thread, runs []vfs.SectorRun) (int, error)
+}
+
+// VectorSectorDev is a SectorDev over a batch-capable driver that
+// additionally satisfies vfs.BatchDev, which the buffer cache
+// type-asserts to flush its whole dirty list in one driver crossing.
+// Boots without batching construct a plain SectorDev, so the assert
+// fails and the classic one-call-per-run flush path is taken — the
+// features-off system never touches the vectored code.
+type VectorSectorDev struct {
+	SectorDev
+	bdrv BatchDriver
+}
+
+// NewVectorSectorDev binds a batch-capable driver to a calling thread.
+func NewVectorSectorDev(drv BatchDriver, th *mach.Thread, sectors uint64) *VectorSectorDev {
+	return &VectorSectorDev{
+		SectorDev: SectorDev{drv: drv, th: th, sectors: sectors},
+		bdrv:      drv,
+	}
+}
+
+// WriteSectorsV implements vfs.BatchDev.
+func (d *VectorSectorDev) WriteSectorsV(runs []vfs.SectorRun) (int, error) {
+	return d.bdrv.WriteSectorsV(d.th, runs)
+}
+
+var _ vfs.BatchDev = (*VectorSectorDev)(nil)

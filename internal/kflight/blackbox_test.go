@@ -64,7 +64,7 @@ func TestEBlackboxCrossServerDeadlock(t *testing.T) {
 
 	_, err = ping.Spawn("server", func(th *mach.Thread) {
 		_ = th.Serve(pingPort, func(req *mach.Message) *mach.Message {
-			_, _ = th.RPC(pongInPing, &mach.Message{ID: 0x0B10})
+			_, _ = th.Call(pongInPing, &mach.Message{ID: 0x0B10}, mach.CallOpts{})
 			return &mach.Message{}
 		})
 	})
@@ -73,7 +73,7 @@ func TestEBlackboxCrossServerDeadlock(t *testing.T) {
 	}
 	_, err = pong.Spawn("server", func(th *mach.Thread) {
 		_ = th.Serve(pongPort, func(req *mach.Message) *mach.Message {
-			_, _ = th.RPC(pingInPong, &mach.Message{ID: 0x0B20})
+			_, _ = th.Call(pingInPong, &mach.Message{ID: 0x0B20}, mach.CallOpts{})
 			return &mach.Message{}
 		})
 	})
@@ -88,7 +88,7 @@ func TestEBlackboxCrossServerDeadlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := client.Spawn("caller", func(th *mach.Thread) {
-		_, _ = th.RPC(clientRight, &mach.Message{ID: 0x0B00})
+		_, _ = th.Call(clientRight, &mach.Message{ID: 0x0B00}, mach.CallOpts{})
 	}); err != nil {
 		t.Fatal(err)
 	}

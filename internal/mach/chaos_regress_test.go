@@ -69,7 +69,7 @@ func TestPoolTeardownOnPortDestroyMidHandler(t *testing.T) {
 
 	slowDone := make(chan error, 1)
 	go func() {
-		reply, err := slowTh.RPC(send, &Message{ID: 1})
+		reply, err := slowTh.Call(send, &Message{ID: 1}, CallOpts{})
 		if err == nil && reply.ID != 101 {
 			err = errors.New("slow caller got wrong reply")
 		}
@@ -111,7 +111,7 @@ func TestPoolTeardownOnPortDestroyMidHandler(t *testing.T) {
 
 	// A fresh call against the dead right fails fast, it does not hang.
 	fastTh, _ := client.NewBoundThread("fast")
-	if _, err := fastTh.RPCWithTimeout(send, &Message{ID: 2}, time.Second); !errors.Is(err, ErrDeadPort) {
+	if _, err := fastTh.Call(send, &Message{ID: 2}, CallOpts{Timeout: time.Second}); !errors.Is(err, ErrDeadPort) {
 		t.Fatalf("call after teardown: err = %v, want ErrDeadPort", err)
 	}
 }
@@ -141,7 +141,7 @@ func TestPoolKillRespawnWorkerEdges(t *testing.T) {
 	th, _ := client.NewBoundThread("main")
 	call := func() {
 		t.Helper()
-		reply, err := th.RPC(send, &Message{ID: 10})
+		reply, err := th.Call(send, &Message{ID: 10}, CallOpts{})
 		if err != nil || reply.ID != 11 {
 			t.Fatalf("RPC: reply=%v err=%v", reply, err)
 		}
@@ -203,7 +203,7 @@ func TestPortSetAbandonedCallerReleasesForwarder(t *testing.T) {
 
 	// No receiver on the set yet: the call times out and is abandoned
 	// while the forwarder holds the exchange.
-	if _, err := th.RPCWithTimeout(send, &Message{ID: 1}, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := th.Call(send, &Message{ID: 1}, CallOpts{Timeout: 30*time.Millisecond}); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	settle(t, "pending gauge", func() bool { return st.Gauge(ps.pendFam).Value() == 0 })
@@ -216,7 +216,7 @@ func TestPortSetAbandonedCallerReleasesForwarder(t *testing.T) {
 		t.Fatalf("ServeSetPool: %v", err)
 	}
 	defer pool.Stop()
-	reply, err := th.RPCWithTimeout(send, &Message{ID: 5}, 2*time.Second)
+	reply, err := th.Call(send, &Message{ID: 5}, CallOpts{Timeout: 2*time.Second})
 	if err != nil || reply.ID != 6 {
 		t.Fatalf("post-abandon RPC: reply=%v err=%v", reply, err)
 	}
@@ -242,7 +242,7 @@ func TestPortSetDestroyUnblocksForwardedCaller(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := th.RPC(send, &Message{ID: 1})
+		_, err := th.Call(send, &Message{ID: 1}, CallOpts{})
 		done <- err
 	}()
 	// Wait until the forwarder actually holds the caller's exchange.
@@ -332,7 +332,7 @@ func TestProcessorAssignEmptiesSetMidBurst(t *testing.T) {
 			send, _ := ct.InsertRight(srv, recv, DispMakeSend)
 			th, _ := ct.NewBoundThread("main")
 			for i := 0; i < 150; i++ {
-				reply, err := th.RPCWithTimeout(send, &Message{ID: MsgID(i)}, 5*time.Second)
+				reply, err := th.Call(send, &Message{ID: MsgID(i)}, CallOpts{Timeout: 5*time.Second})
 				if err != nil {
 					errs <- err
 					return

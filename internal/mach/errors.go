@@ -19,4 +19,7 @@ var (
 	ErrNotReceiver     = errors.New("mach: caller does not hold the receive right")
 	ErrRightExists     = errors.New("mach: name already denotes a right")
 	ErrThreadRunning   = errors.New("mach: pool worker is still running")
+	ErrBatchMismatch   = errors.New("mach: vectored reply does not match the request batch")
+	ErrBatchRights     = errors.New("mach: batched sub-messages cannot carry port rights")
+	ErrNotSupported    = errors.New("mach: operation not supported on this path")
 )

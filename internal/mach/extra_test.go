@@ -12,7 +12,7 @@ func TestRPCWithTimeoutExpires(t *testing.T) {
 	client := k.NewTask("client")
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
-	if _, err := th.RPCWithTimeout(sendName, &Message{}, 20*time.Millisecond); err != ErrTimeout {
+	if _, err := th.Call(sendName, &Message{}, CallOpts{Timeout: 20*time.Millisecond}); err != ErrTimeout {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 }
@@ -24,7 +24,7 @@ func TestRPCWithTimeoutSucceeds(t *testing.T) {
 	client := k.NewTask("client")
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
-	reply, err := th.RPCWithTimeout(sendName, &Message{}, time.Second)
+	reply, err := th.Call(sendName, &Message{}, CallOpts{Timeout: time.Second})
 	if err != nil || reply.ID != 9 {
 		t.Fatalf("reply %v err %v", reply, err)
 	}

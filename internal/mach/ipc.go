@@ -38,6 +38,11 @@ const PageSize = 4096
 // faults when the receiver touches it.
 func (th *Thread) MachMsgSend(dest PortName, msg *Message, opts MsgOption) error {
 	k := th.task.kernel
+	// By-reference regions and vectored carriers belong to the reworked
+	// RPC path; the classic queued path predates both.
+	if len(msg.Regions) > 0 || len(msg.batch) > 0 {
+		return ErrNotSupported
+	}
 	var sp ktrace.Span
 	if t := ktrace.For(k.CPU); t != nil {
 		sp = t.Begin(ktrace.EvIPCSend, "mach.ipc", fmt.Sprintf("send:%#04x", uint32(msg.ID)), msg.trace)

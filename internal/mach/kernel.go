@@ -45,6 +45,10 @@ type paths struct {
 	rpcStubC   cpu.Region // simplified user-level client stub
 	rpcStubS   cpu.Region // simplified user-level server loop/stub
 
+	// By-reference and vectored transfer (the rework's bulk-data arc).
+	regionMap  cpu.Region // per-page map manipulation, region transfer
+	batchDemux cpu.Region // per-sub-message header decode, vectored RPC
+
 	// Classic queued mach_msg path.
 	msgSend    cpu.Region // option decode, header parse, enqueue
 	msgReceive cpu.Region // dequeue, right translation, copyout
@@ -211,6 +215,29 @@ func (k *Kernel) placePaths() {
 
 	p.taskCreate = k.place("task_create", 900)
 	p.threadCreate = k.place("thread_create", 600)
+
+	// By-reference transfer paths, hand-placed at a fixed address instead
+	// of through the layout cursor: components (vfs, os2, drivers) place
+	// their own text after placePaths runs, so advancing the cursor here
+	// would relocate every later placement and perturb the I-cache
+	// conflict pattern of code that never touches these paths.  Pinning
+	// them keeps a features-off boot's cycle model identical to the
+	// pre-region baseline.  The region map is much leaner than the classic
+	// vm_map_copy_page (620 instr): no copy object, no COW setup — an
+	// entry install plus accounting.
+	p.regionMap = k.fixedPath(0x3E000000, "rpc_region_map", 150)
+	p.batchDemux = k.fixedPath(0x3E010000, "rpc_batch_demux", 25)
+}
+
+// fixedPath builds a code region at a pinned address with the configured
+// sparsity, bypassing the layout cursor (see placePaths for why).
+func (k *Kernel) fixedPath(base uint64, name string, instr uint64) cpu.Region {
+	return cpu.Region{
+		Name:  name,
+		Base:  base,
+		Size:  instr * 4 * k.tun.SparsityNum / k.tun.SparsityDen,
+		Instr: instr,
+	}
 }
 
 // Tunables returns the kernel cost knobs.

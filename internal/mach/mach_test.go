@@ -45,7 +45,7 @@ func TestRPCRoundTrip(t *testing.T) {
 		t.Fatalf("InsertRight: %v", err)
 	}
 	th, _ := client.NewBoundThread("main")
-	reply, err := th.RPC(sendName, &Message{ID: 100, Body: []byte("hello")})
+	reply, err := th.Call(sendName, &Message{ID: 100, Body: []byte("hello")}, CallOpts{})
 	if err != nil {
 		t.Fatalf("RPC: %v", err)
 	}
@@ -62,7 +62,7 @@ func TestRPCToDeadPort(t *testing.T) {
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
 	srv.DeallocatePort(recv) // destroys the port
-	if _, err := th.RPC(sendName, &Message{}); err != ErrDeadPort {
+	if _, err := th.Call(sendName, &Message{}, CallOpts{}); err != ErrDeadPort {
 		t.Fatalf("err = %v, want ErrDeadPort", err)
 	}
 }
@@ -71,7 +71,7 @@ func TestRPCInvalidName(t *testing.T) {
 	k := newTestKernel()
 	client := k.NewTask("client")
 	th, _ := client.NewBoundThread("main")
-	if _, err := th.RPC(PortName(9999), &Message{}); err != ErrInvalidName {
+	if _, err := th.Call(PortName(9999), &Message{}, CallOpts{}); err != ErrInvalidName {
 		t.Fatalf("err = %v, want ErrInvalidName", err)
 	}
 }
@@ -81,7 +81,7 @@ func TestRPCBodyTooLarge(t *testing.T) {
 	client := k.NewTask("client")
 	th, _ := client.NewBoundThread("main")
 	big := make([]byte, InlineMax+1)
-	if _, err := th.RPC(PortName(1), &Message{Body: big}); err != ErrMsgTooLarge {
+	if _, err := th.Call(PortName(1), &Message{Body: big}, CallOpts{}); err != ErrMsgTooLarge {
 		t.Fatalf("err = %v, want ErrMsgTooLarge", err)
 	}
 }
@@ -100,7 +100,7 @@ func TestRPCOOLDelivered(t *testing.T) {
 	client := k.NewTask("client")
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
-	reply, err := th.RPC(sendName, &Message{OOL: make([]byte, 100000)})
+	reply, err := th.Call(sendName, &Message{OOL: make([]byte, 100000)}, CallOpts{})
 	if err != nil {
 		t.Fatalf("RPC: %v", err)
 	}
@@ -143,9 +143,9 @@ func TestRPCCarriesSendRight(t *testing.T) {
 
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
-	reply, err := th.RPC(sendName, &Message{
+	reply, err := th.Call(sendName, &Message{
 		Rights: []PortRight{{Name: clientRecv, Disposition: DispMakeSend}},
-	})
+	}, CallOpts{})
 	if err != nil {
 		t.Fatalf("RPC: %v", err)
 	}
@@ -178,10 +178,10 @@ func TestSendOnceRightConsumed(t *testing.T) {
 		t.Fatalf("InsertRight: %v", err)
 	}
 	th, _ := client.NewBoundThread("main")
-	if _, err := th.RPC(once, &Message{}); err != nil {
+	if _, err := th.Call(once, &Message{}, CallOpts{}); err != nil {
 		t.Fatalf("first send: %v", err)
 	}
-	if _, err := th.RPC(once, &Message{}); err != ErrInvalidName {
+	if _, err := th.Call(once, &Message{}, CallOpts{}); err != ErrInvalidName {
 		t.Fatalf("second send err = %v, want ErrInvalidName", err)
 	}
 }
@@ -302,11 +302,11 @@ func TestTaskTerminateKillsServerLoops(t *testing.T) {
 	client := k.NewTask("client")
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
-	if _, err := th.RPC(sendName, &Message{}); err != nil {
+	if _, err := th.Call(sendName, &Message{}, CallOpts{}); err != nil {
 		t.Fatalf("warm-up RPC: %v", err)
 	}
 	srv.Terminate()
-	if _, err := th.RPC(sendName, &Message{}); err != ErrDeadPort {
+	if _, err := th.Call(sendName, &Message{}, CallOpts{}); err != ErrDeadPort {
 		t.Fatalf("post-terminate err = %v, want ErrDeadPort", err)
 	}
 	if !srv.Dead() {
@@ -398,14 +398,14 @@ func TestTable2Calibration(t *testing.T) {
 	body := make([]byte, 32)
 	// Warm up.
 	for i := 0; i < 50; i++ {
-		if _, err := th.RPC(sendName, &Message{Body: body}); err != nil {
+		if _, err := th.Call(sendName, &Message{Body: body}, CallOpts{}); err != nil {
 			t.Fatalf("warmup rpc: %v", err)
 		}
 	}
 	const N = 200
 	base := k.CPU.Counters()
 	for i := 0; i < N; i++ {
-		th.RPC(sendName, &Message{Body: body})
+		th.Call(sendName, &Message{Body: body}, CallOpts{})
 	}
 	rpc := k.CPU.Counters().Sub(base)
 
@@ -474,12 +474,12 @@ func ipcImprovementAt(t *testing.T, size int) float64 {
 		return &Message{OOL: make([]byte, size)}
 	}
 	for i := 0; i < 30; i++ {
-		th.RPC(sendName, mk())
+		th.Call(sendName, mk(), CallOpts{})
 	}
 	const N = 100
 	base := k.CPU.Counters()
 	for i := 0; i < N; i++ {
-		th.RPC(sendName, mk())
+		th.Call(sendName, mk(), CallOpts{})
 	}
 	newCycles := k.CPU.Counters().Sub(base).Cycles
 
@@ -593,7 +593,7 @@ func TestConcurrentRPCClients(t *testing.T) {
 			}
 			th, _ := client.NewBoundThread("main")
 			for i := 0; i < 50; i++ {
-				reply, err := th.RPC(sendName, &Message{ID: MsgID(c*1000 + i)})
+				reply, err := th.Call(sendName, &Message{ID: MsgID(c*1000 + i)}, CallOpts{})
 				if err != nil {
 					errs <- err
 					return

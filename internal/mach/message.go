@@ -40,6 +40,44 @@ type PortRight struct {
 	typ  RightType
 }
 
+// RegionDesc describes a shared-memory out-of-line region transferred by
+// reference on the RPC path.  Instead of copying payload bytes, the
+// transfer remaps the region's pages into the receiver's address space:
+// the cost model charges a per-page map manipulation (rpc_region_map) and
+// **zero** per-byte copy cycles — the paper's by-reference bulk-transfer
+// rework, taken past InlineMax's copy-once path.  Data is the backing
+// store and is shared by reference between sender and receiver, exactly
+// as remapped pages would be; delivered payloads are treated as immutable
+// while in flight, like delivered bodies.
+type RegionDesc struct {
+	// Base is the page-aligned simulated address of the region in the
+	// sender's space (only used for cost accounting).
+	Base uint64
+	// Off is the payload's byte offset within the region.
+	Off uint64
+	// Len is the payload length in bytes.
+	Len uint64
+	// Data holds the region's backing bytes; the payload is
+	// Data[Off : Off+Len].
+	Data []byte
+}
+
+// Pages reports how many pages the transfer must remap: every page the
+// payload [Off, Off+Len) touches.
+func (r *RegionDesc) Pages() uint64 {
+	if r.Len == 0 {
+		return 0
+	}
+	first := r.Off / PageSize
+	last := (r.Off + r.Len - 1) / PageSize
+	return last - first + 1
+}
+
+// Payload returns the payload bytes the region carries.
+func (r *RegionDesc) Payload() []byte {
+	return r.Data[r.Off : r.Off+r.Len]
+}
+
 // Message is the unit of communication.  The header mirrors Mach's
 // mach_msg_header_t: a destination, an optional reply port (used only by
 // the classic queued path — the reworked RPC removed reply ports), an
@@ -64,6 +102,12 @@ type Message struct {
 	// operations plus copy-on-write faults).
 	OOL []byte
 
+	// Regions are shared-memory out-of-line regions moved by reference:
+	// per-page map cost, no per-byte copy cost.  RPC path only — the
+	// classic queued path predates the by-reference rework and rejects
+	// them.
+	Regions []RegionDesc
+
 	// Rights are port rights carried in the body.
 	Rights []PortRight
 
@@ -73,12 +117,32 @@ type Message struct {
 	// replyPort is the in-transit reply right (classic path).
 	replyPort *Port
 
+	// batch marks this message as a vectored carrier: one crossing
+	// transporting these sub-requests (or sub-replies).  Built by CallV
+	// and Responder.ReplyV; never set directly.
+	batch []*Message
+
 	// trace carries the sender's span context so the receiver's work is
 	// parented to the operation that caused it (ktrace correlation).
 	trace ktrace.SpanContext
 }
 
-// Size returns the total byte count the message transfers.
+// Size returns the total byte count the message transfers, including
+// by-reference region payloads and, for a vectored carrier, every
+// sub-message.
 func (m *Message) Size() int {
-	return len(m.Body) + len(m.OOL)
+	n := len(m.Body) + len(m.OOL)
+	for i := range m.Regions {
+		n += int(m.Regions[i].Len)
+	}
+	for _, sub := range m.batch {
+		n += sub.Size()
+	}
+	return n
 }
+
+// Batch returns the sub-messages of a vectored carrier, or nil for a
+// plain message.  Serve and the pool worker loops demultiplex carriers
+// before the handler ever sees one; hand-rolled RPCReceive loops that
+// want vectored clients must do the same and answer with ReplyV.
+func (m *Message) Batch() []*Message { return m.batch }

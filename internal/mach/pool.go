@@ -159,14 +159,15 @@ func (p *ServerPool) worker(th *Thread, idx int, recv receiveFn, h func(PortName
 			st.Gauge(p.busyFam).Inc()
 		}
 		reply := func() {
+			hm := func(m *Message) *Message { return h(pn, m) }
 			if pr := kprof.For(k.CPU); pr != nil {
 				pop := pr.Push(serveCtx)
 				popOp := pr.Push(fmt.Sprintf("op:%#04x", uint32(req.ID)))
-				_ = resp.Reply(h(pn, req))
+				_ = dispatchReply(resp, req, hm)
 				popOp()
 				pop()
 			} else {
-				_ = resp.Reply(h(pn, req))
+				_ = dispatchReply(resp, req, hm)
 			}
 		}
 		if tr := ktrace.For(k.CPU); tr != nil {

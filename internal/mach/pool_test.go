@@ -37,12 +37,12 @@ func TestTimeoutDuringServerProcessing(t *testing.T) {
 	sendName, _ := client.InsertRight(srv, recv, DispMakeSend)
 	th, _ := client.NewBoundThread("main")
 
-	if _, err := th.RPCWithTimeout(sendName, &Message{ID: 1}, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := th.Call(sendName, &Message{ID: 1}, CallOpts{Timeout: 20*time.Millisecond}); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	close(release) // server finishes; its reply must be discarded
 
-	reply, err := th.RPC(sendName, &Message{ID: 40})
+	reply, err := th.Call(sendName, &Message{ID: 40}, CallOpts{})
 	if err != nil {
 		t.Fatalf("follow-up RPC: %v", err)
 	}
@@ -65,7 +65,7 @@ func TestPortDestroyUnblocksRendezvous(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := th.RPC(sendName, &Message{ID: 7})
+		_, err := th.Call(sendName, &Message{ID: 7}, CallOpts{})
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond) // let the client reach the rendezvous
@@ -122,7 +122,7 @@ func TestReplyRightsFailureUnblocksClient(t *testing.T) {
 	for id, wantSrv := range map[MsgID]error{1: ErrInvalidName, 2: ErrMsgTooLarge} {
 		callDone := make(chan error, 1)
 		go func() {
-			_, err := th.RPC(sendName, &Message{ID: id})
+			_, err := th.Call(sendName, &Message{ID: id}, CallOpts{})
 			callDone <- err
 		}()
 		select {
@@ -139,7 +139,7 @@ func TestReplyRightsFailureUnblocksClient(t *testing.T) {
 	}
 
 	// The same server loop must still answer a well-formed request.
-	reply, err := th.RPC(sendName, &Message{ID: 10})
+	reply, err := th.Call(sendName, &Message{ID: 10}, CallOpts{})
 	if err != nil || reply.ID != 11 {
 		t.Fatalf("server loop dead after failed replies: reply=%v err=%v", reply, err)
 	}
@@ -189,7 +189,7 @@ func TestServePoolConcurrentClients(t *testing.T) {
 			th, _ := task.NewBoundThread("main")
 			for i := 0; i < opsEach; i++ {
 				id := MsgID(c*opsEach + i)
-				reply, err := th.RPC(sendName, &Message{ID: id})
+				reply, err := th.Call(sendName, &Message{ID: id}, CallOpts{})
 				if err != nil {
 					errs <- fmt.Errorf("client %d op %d: %w", c, i, err)
 					return
@@ -286,7 +286,7 @@ func TestServeSetPool(t *testing.T) {
 			}
 			th, _ := task.NewBoundThread("main")
 			for j := 0; j < 10; j++ {
-				reply, err := th.RPC(sendName, &Message{ID: 1})
+				reply, err := th.Call(sendName, &Message{ID: 1}, CallOpts{})
 				if err != nil {
 					errs <- fmt.Errorf("member %d: %w", i, err)
 					return

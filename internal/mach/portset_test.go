@@ -40,7 +40,7 @@ func TestPortSetSingleThreadManyPorts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reply, err := th.RPC(send, &Message{Body: []byte{byte(i)}})
+		reply, err := th.Call(send, &Message{Body: []byte{byte(i)}}, CallOpts{})
 		if err != nil {
 			t.Fatalf("RPC to member %d: %v", i, err)
 		}
@@ -85,7 +85,7 @@ func TestPortSetConcurrentClients(t *testing.T) {
 				return
 			}
 			for i := 0; i < 30; i++ {
-				reply, err := th.RPC(send, &Message{ID: MsgID(c*100 + i)})
+				reply, err := th.Call(send, &Message{ID: MsgID(c*100 + i)}, CallOpts{})
 				if err != nil {
 					errs <- err
 					return
@@ -150,12 +150,12 @@ func TestPortSetDestroyAndDeadPorts(t *testing.T) {
 	client := k.NewTask("client")
 	th, _ := client.NewBoundThread("main")
 	send, _ := client.InsertRight(srv, n, DispMakeSend)
-	if _, err := th.RPC(send, &Message{}); err != nil {
+	if _, err := th.Call(send, &Message{}, CallOpts{}); err != nil {
 		t.Fatalf("warm RPC: %v", err)
 	}
 	// Destroying the member port fails subsequent sends cleanly.
 	srv.DeallocatePort(n)
-	if _, err := th.RPC(send, &Message{}); err != ErrDeadPort {
+	if _, err := th.Call(send, &Message{}, CallOpts{}); err != ErrDeadPort {
 		t.Fatalf("post-destroy err = %v", err)
 	}
 	ps.Destroy()

@@ -57,17 +57,70 @@ type CallOpts struct {
 	// later Reply finds the abandoned state and discards the reply
 	// instead of resurrecting the call.
 	Timeout time.Duration
+
+	// Batch vectors additional sub-requests into the same crossing as
+	// the request passed to Call: one dispatch, one AS-switch pair, one
+	// I-cache refill charged for the whole batch, plus a small per-sub
+	// demux charge.  Call returns the first sub-reply; CallV is the
+	// ergonomic surface over the same mechanism and returns them all.
+	Batch []*Message
 }
 
 // Call performs a synchronous remote procedure call: it blocks until a
 // server thread is waiting in RPCReceive on the destination port, hands
 // the request over with a single physical copy, and blocks until the reply
-// arrives.  There is no reply port and no queuing.  Call is the single
-// client entry point; RPC and RPCWithTimeout are wrappers kept for
-// compatibility.
+// arrives.  There is no reply port and no queuing.  Call and CallV are
+// the only supported client entry points; RPC and RPCWithTimeout are
+// deprecated wrappers.
 func (th *Thread) Call(dest PortName, req *Message, opts CallOpts) (*Message, error) {
-	if opts.Timeout > 0 {
-		timer := time.NewTimer(opts.Timeout)
+	if len(opts.Batch) > 0 {
+		reqs := append([]*Message{req}, opts.Batch...)
+		replies, err := th.CallV(dest, reqs, CallOpts{Timeout: opts.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		return replies[0], nil
+	}
+	return th.callMsg(dest, req, opts.Timeout)
+}
+
+// CallV performs a vectored call: one crossing carries every request in
+// reqs and returns the matching sub-replies, in order.  The whole batch
+// pays one dispatch, one AS-switch pair and one I-cache refill; each
+// sub-message adds only its body copy (or per-page region map) and a
+// small demux charge.  Sub-messages cannot carry port rights.  A batch
+// of one degrades to a plain Call; an empty batch is a no-op.
+func (th *Thread) CallV(dest PortName, reqs []*Message, opts CallOpts) ([]*Message, error) {
+	switch len(reqs) {
+	case 0:
+		return nil, nil
+	case 1:
+		m, err := th.callMsg(dest, reqs[0], opts.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		return []*Message{m}, nil
+	}
+	for _, sub := range reqs {
+		if sub == nil {
+			return nil, ErrBatchMismatch
+		}
+	}
+	carrier := &Message{ID: reqs[0].ID, trace: reqs[0].trace, batch: reqs}
+	reply, err := th.callMsg(dest, carrier, opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.batch) != len(reqs) {
+		return nil, ErrBatchMismatch
+	}
+	return reply.batch, nil
+}
+
+// callMsg arms the optional deadline and runs the shared client path.
+func (th *Thread) callMsg(dest PortName, req *Message, timeout time.Duration) (*Message, error) {
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
 		defer timer.Stop()
 		return th.rpcCall(dest, req, timer.C)
 	}
@@ -75,12 +128,17 @@ func (th *Thread) Call(dest PortName, req *Message, opts CallOpts) (*Message, er
 }
 
 // RPC is Call with the zero options (no deadline).
+//
+// Deprecated: use Call.  Kept only so out-of-tree callers keep
+// compiling; all in-tree callers have migrated.
 func (th *Thread) RPC(dest PortName, req *Message) (*Message, error) {
 	return th.Call(dest, req, CallOpts{})
 }
 
 // RPCWithTimeout is Call with a deadline; the paper's RPC kept a timeout
 // option for device and network servers.
+//
+// Deprecated: use Call with CallOpts.Timeout.
 func (th *Thread) RPCWithTimeout(dest PortName, req *Message, d time.Duration) (*Message, error) {
 	return th.Call(dest, req, CallOpts{Timeout: d})
 }
@@ -112,15 +170,29 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 		if name == "" {
 			name = "?"
 		}
-		fr.Emit(ktrace.EvRPC, "mach.rpc", "call:"+name, uint64(req.ID))
-		// Named returns let the outcome event see how the call resolved.
-		defer func() {
-			if err != nil {
-				fr.Emit(ktrace.EvRPC, "mach.rpc", "error:"+name+":"+err.Error(), uint64(req.ID))
-			} else {
-				fr.Emit(ktrace.EvRPC, "mach.rpc", "reply:"+name, uint64(req.ID))
-			}
-		}()
+		// Batch-aware events: a vectored carrier logs callv/replyv with
+		// the sub-request count, so a flight dump distinguishes one
+		// crossing carrying N ops from N crossings.
+		if n := len(req.batch); n > 0 {
+			fr.Emit(ktrace.EvRPC, "mach.rpc", "callv:"+name, uint64(n))
+			defer func() {
+				if err != nil {
+					fr.Emit(ktrace.EvRPC, "mach.rpc", "errorv:"+name+":"+err.Error(), uint64(n))
+				} else {
+					fr.Emit(ktrace.EvRPC, "mach.rpc", "replyv:"+name, uint64(n))
+				}
+			}()
+		} else {
+			fr.Emit(ktrace.EvRPC, "mach.rpc", "call:"+name, uint64(req.ID))
+			// Named returns let the outcome event see how the call resolved.
+			defer func() {
+				if err != nil {
+					fr.Emit(ktrace.EvRPC, "mach.rpc", "error:"+name+":"+err.Error(), uint64(req.ID))
+				} else {
+					fr.Emit(ktrace.EvRPC, "mach.rpc", "reply:"+name, uint64(req.ID))
+				}
+			}()
+		}
 	}
 	if pr != nil {
 		frame := "rpc:?"
@@ -132,12 +204,20 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 	if st == nil {
 		return th.rpcCallRaw(dest, req, deadline)
 	}
-	reqBytes := uint64(len(req.Body) + len(req.OOL))
+	reqBytes := copiedBytes(req)
 	// Calls and request bytes count at dispatch, so a server taking a
 	// snapshot while handling this very call (the monitor serving its own
-	// query) already sees it; latency and reply size land after.
+	// query) already sees it; latency and reply size land after.  A
+	// vectored carrier is ONE call (the conservation law calls == replies
+	// + errors holds per crossing); its width lands on mach.rpc.batched.
 	st.Counter("mach.rpc.calls").Inc()
 	st.Counter("mach.rpc.bytes_in").Add(reqBytes)
+	if n := len(req.batch); n > 0 {
+		st.Counter("mach.rpc.batched").Add(uint64(n))
+	}
+	if rb := regionBytes(req); rb > 0 {
+		st.Counter("mach.ool.bytes_mapped").Add(rb)
+	}
 	if srvName != "" {
 		st.Counter("mach.rpc.to." + srvName + ".calls").Inc()
 	}
@@ -157,9 +237,36 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 		// conservation law the chaos harness checks after each fault
 		// epoch.
 		st.Counter("mach.rpc.replies").Inc()
-		st.Counter("mach.rpc.bytes_out").Add(uint64(len(m.Body) + len(m.OOL)))
+		st.Counter("mach.rpc.bytes_out").Add(copiedBytes(m))
+		if rb := regionBytes(m); rb > 0 {
+			st.Counter("mach.ool.bytes_mapped").Add(rb)
+		}
 	}
 	return m, err
+}
+
+// copiedBytes counts the bytes a message moves through the physical copy
+// path: inline bodies and copy-once OOL payloads, across every
+// sub-message of a carrier.  Region payloads are excluded — they move by
+// map manipulation and land on mach.ool.bytes_mapped instead.
+func copiedBytes(m *Message) uint64 {
+	n := uint64(len(m.Body) + len(m.OOL))
+	for _, sub := range m.batch {
+		n += uint64(len(sub.Body) + len(sub.OOL))
+	}
+	return n
+}
+
+// regionBytes counts the payload bytes a message transfers by reference.
+func regionBytes(m *Message) uint64 {
+	var n uint64
+	for i := range m.Regions {
+		n += m.Regions[i].Len
+	}
+	for _, sub := range m.batch {
+		n += regionBytes(sub)
+	}
+	return n
 }
 
 // rpcCallRaw is the shared client path.  A nil deadline channel never
@@ -168,6 +275,14 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 	k := th.task.kernel
 	if len(req.Body) > InlineMax {
 		return nil, ErrMsgTooLarge
+	}
+	for _, sub := range req.batch {
+		if len(sub.Body) > InlineMax {
+			return nil, ErrMsgTooLarge
+		}
+		if len(sub.Rights) > 0 {
+			return nil, ErrBatchRights
+		}
 	}
 	// The send path up to the rendezvous is one scheduled burst; the
 	// resume after the reply is another, dispatched separately — that
@@ -184,7 +299,11 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 	defer release()
 	var sp ktrace.Span
 	if t := ktrace.For(k.CPU); t != nil {
-		sp = t.Begin(ktrace.EvRPC, "mach.rpc", fmt.Sprintf("rpc:%#04x", uint32(req.ID)), req.trace)
+		lbl := fmt.Sprintf("rpc:%#04x", uint32(req.ID))
+		if n := len(req.batch); n > 0 {
+			lbl = fmt.Sprintf("rpcv:%#04x[%d]", uint32(req.ID), n)
+		}
+		sp = t.Begin(ktrace.EvRPC, "mach.rpc", lbl, req.trace)
 		req.trace = sp.Context()
 	}
 	defer sp.End()
@@ -210,13 +329,13 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 		}
 	}
 
-	// Physical copy: inline body and by-reference bulk data are each
-	// copied exactly once, sender space to receiver space.
+	// Data movement: inline bodies and copy-once OOL payloads are each
+	// physically copied exactly once, sender space to receiver space;
+	// region payloads move by per-page map manipulation with no per-byte
+	// cost; a vectored carrier pays one gathered copy plus a per-sub
+	// demux charge.
 	dstAS := port.receiverASID()
-	k.CPU.Copy(userBufAddr(th.task.asid), userBufAddr(dstAS), uint64(len(req.Body)))
-	if len(req.OOL) > 0 {
-		k.CPU.Copy(userBufAddr(th.task.asid)+1<<20, userBufAddr(dstAS)+1<<20, uint64(len(req.OOL)))
-	}
+	k.chargeTransfer(req, th.task.asid, dstAS)
 	k.CPU.Exec(k.paths.schedule)
 
 	ex := &rpcExchange{
@@ -345,12 +464,122 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 	return ex.request, &Responder{ex: ex, port: port, srv: th, release: rel}, nil
 }
 
+// chargeTransfer charges the data-movement half of one RPC crossing in
+// direction srcAS→dstAS: a single physical copy for inline bodies and
+// copy-once OOL payloads (gathered across every sub-message of a
+// vectored carrier), a per-page map charge — and no per-byte cost — for
+// by-reference regions, and a per-sub demux charge for carriers.
+func (k *Kernel) chargeTransfer(m *Message, srcAS, dstAS uint64) {
+	if m.batch == nil {
+		k.CPU.Copy(userBufAddr(srcAS), userBufAddr(dstAS), uint64(len(m.Body)))
+		if len(m.OOL) > 0 {
+			k.CPU.Copy(userBufAddr(srcAS)+1<<20, userBufAddr(dstAS)+1<<20, uint64(len(m.OOL)))
+		}
+		k.chargeRegions(m)
+		return
+	}
+	// Vectored carrier: sub-bodies are gathered into one contiguous
+	// buffer and moved with a single copy, so the per-message fixed copy
+	// overhead is paid once per batch, not once per op.
+	var body, ool uint64
+	for _, sub := range m.batch {
+		k.CPU.Exec(k.paths.batchDemux)
+		body += uint64(len(sub.Body))
+		ool += uint64(len(sub.OOL))
+		k.chargeRegions(sub)
+	}
+	k.CPU.Copy(userBufAddr(srcAS), userBufAddr(dstAS), body)
+	if ool > 0 {
+		k.CPU.Copy(userBufAddr(srcAS)+1<<20, userBufAddr(dstAS)+1<<20, ool)
+	}
+}
+
+// chargeRegions charges the by-reference transfer of a message's regions:
+// one rpc_region_map traversal and one map-entry touch per page, zero
+// per-byte cycles.  The kprof frame makes the map cost attributable as
+// its own charge site in profiles.
+func (k *Kernel) chargeRegions(m *Message) {
+	if len(m.Regions) == 0 {
+		return
+	}
+	if pr := kprof.For(k.CPU); pr != nil {
+		defer pr.Push("xfer:region_map")()
+	}
+	for i := range m.Regions {
+		for p, n := uint64(0), m.Regions[i].Pages(); p < n; p++ {
+			k.CPU.Exec(k.paths.regionMap)
+			k.touchKData((1<<16)+p, 64)
+		}
+	}
+}
+
 // Reply completes the RPC, copying the reply body back with a single
 // physical copy and resuming the blocked client.  A reply the server
 // cannot deliver (oversized body, bad rights) still resolves the exchange:
 // the blocked client unblocks with ErrReplyFailed and the server gets the
 // underlying error, so neither side hangs on the other's mistake.
+//
+// A vectored request must be answered with ReplyV; Reply on a carrier
+// fails the exchange (the client unblocks with ErrReplyFailed) and
+// returns ErrBatchMismatch.
 func (r *Responder) Reply(reply *Message) error {
+	if len(r.ex.request.batch) > 0 {
+		if r.done {
+			return ErrNoReplyExpected
+		}
+		r.finish()
+		r.ex.fail(ErrReplyFailed)
+		return ErrBatchMismatch
+	}
+	return r.deliver(reply)
+}
+
+// ReplyV completes a vectored RPC: one crossing carries every sub-reply
+// back, in request order.  len(replies) must equal the request batch
+// width (nil slots become empty replies); ReplyV on a plain request is a
+// batch mismatch, except for the degenerate single-reply case.
+func (r *Responder) ReplyV(replies []*Message) error {
+	n := len(r.ex.request.batch)
+	if n == 0 {
+		if len(replies) == 1 {
+			return r.deliver(replies[0])
+		}
+		if r.done {
+			return ErrNoReplyExpected
+		}
+		r.finish()
+		r.ex.fail(ErrReplyFailed)
+		return ErrBatchMismatch
+	}
+	if len(replies) != n {
+		if r.done {
+			return ErrNoReplyExpected
+		}
+		r.finish()
+		r.ex.fail(ErrReplyFailed)
+		return ErrBatchMismatch
+	}
+	subs := make([]*Message, n)
+	for i, sub := range replies {
+		if sub == nil {
+			sub = &Message{}
+		}
+		subs[i] = sub
+	}
+	return r.deliver(&Message{ID: subs[0].ID, batch: subs})
+}
+
+// finish consumes the responder and ends the server burst.
+func (r *Responder) finish() {
+	r.done = true
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+}
+
+// deliver is the shared reply path for plain replies and reply carriers.
+func (r *Responder) deliver(reply *Message) error {
 	if r.done {
 		return ErrNoReplyExpected
 	}
@@ -369,13 +598,20 @@ func (r *Responder) Reply(reply *Message) error {
 		r.ex.fail(ErrReplyFailed)
 		return ErrMsgTooLarge
 	}
+	for _, sub := range reply.batch {
+		if len(sub.Body) > InlineMax {
+			r.ex.fail(ErrReplyFailed)
+			return ErrMsgTooLarge
+		}
+		if len(sub.Rights) > 0 {
+			r.ex.fail(ErrReplyFailed)
+			return ErrBatchRights
+		}
+	}
 	k.trap()
 	k.CPU.Exec(k.paths.rpcReply)
 	callerAS := r.ex.caller.task.asid
-	k.CPU.Copy(userBufAddr(r.srv.task.asid), userBufAddr(callerAS), uint64(len(reply.Body)))
-	if len(reply.OOL) > 0 {
-		k.CPU.Copy(userBufAddr(r.srv.task.asid)+1<<20, userBufAddr(callerAS)+1<<20, uint64(len(reply.OOL)))
-	}
+	k.chargeTransfer(reply, r.srv.task.asid, callerAS)
 	if len(reply.Rights) > 0 {
 		if err := r.srv.task.loadRights(reply); err != nil {
 			r.ex.fail(ErrReplyFailed)
@@ -416,6 +652,21 @@ func (p *Port) receiverASID() uint64 {
 // Handler processes one RPC request and returns the reply.
 type Handler func(*Message) *Message
 
+// dispatchReply runs h and delivers the reply, demultiplexing vectored
+// carriers: each sub-request is handled independently, in order, and the
+// sub-replies travel back in one crossing.  Handlers never see a
+// carrier, so every existing handler is batch-transparent.
+func dispatchReply(resp *Responder, req *Message, h Handler) error {
+	if subs := req.batch; subs != nil {
+		replies := make([]*Message, len(subs))
+		for i, sub := range subs {
+			replies[i] = h(sub)
+		}
+		return resp.ReplyV(replies)
+	}
+	return resp.Reply(h(req))
+}
+
 // Serve runs a server loop on the named receive right: each iteration
 // blocks in RPCReceive, applies h, and replies.  It exits when the thread
 // or port dies.  This is the "optimized and simplified ... server loop" of
@@ -434,11 +685,11 @@ func (th *Thread) Serve(recvName PortName, h Handler) error {
 				// being handled, so cycles roll up by server and by op.
 				pop := pr.Push("serve:" + th.task.name)
 				popOp := pr.Push(fmt.Sprintf("op:%#04x", uint32(req.ID)))
-				rerr = resp.Reply(h(req))
+				rerr = dispatchReply(resp, req, h)
 				popOp()
 				pop()
 			} else {
-				rerr = resp.Reply(h(req))
+				rerr = dispatchReply(resp, req, h)
 			}
 		}
 		if t := ktrace.For(k.CPU); t != nil {

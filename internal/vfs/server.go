@@ -3,15 +3,19 @@ package vfs
 import (
 	"encoding/binary"
 	"errors"
+	"strings"
 	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/mach"
+	"repro/internal/vfs/wire"
 )
 
-// File server message IDs.
+// File server message IDs.  The vectored ops extend the ID space; the
+// single-op messages keep their pre-redesign values and byte layouts, so
+// an old client still speaks to a new server (wire-compat tests pin it).
 const (
 	MsgOpen mach.MsgID = 0x0F00 + iota
 	MsgClose
@@ -27,7 +31,35 @@ const (
 	MsgSetEA
 	MsgGetEA
 	MsgSync
+	// Vectored ops (zero-copy/batching redesign).
+	MsgReadV
+	MsgWriteV
+	MsgStatBatch
 )
+
+// Extent is one (offset, length) pair of a vectored read.
+type Extent = wire.Extent
+
+// VecWrite couples one write buffer with its file offset.
+type VecWrite struct {
+	Off  int64
+	Data []byte
+}
+
+// Transfer selects the transfer-path features the server and its clients
+// agreed on at boot.  The zero value is the pre-redesign behavior: every
+// payload through the copy path, one crossing per op.  Set it before the
+// server takes traffic (NewClient hands the current value to each new
+// client).
+type Transfer struct {
+	// ZeroCopy moves file payloads of at least one page by region
+	// descriptor — per-page map cost, no per-byte copy cost — instead of
+	// through the OOL copy path.
+	ZeroCopy bool
+	// Batch lets clients vector several operations into one crossing
+	// (ReadDirStat's stat storm, the driver's write-behind runs).
+	Batch bool
+}
 
 // MaxReadChunk bounds one read RPC's server-side buffer; longer reads
 // return short and the client iterates.
@@ -59,6 +91,10 @@ type Server struct {
 	mu        sync.Mutex
 	filePorts map[uint32]mach.PortName // fd -> receive name in server task
 	portFDs   map[mach.PortName]uint32 // receive name -> fd (set dispatch)
+
+	// xfer is the transfer-feature agreement; set at boot, read-only
+	// afterwards (SetTransfer documents the contract).
+	xfer Transfer
 
 	// Volume bookkeeping for the redesigned mount API: cacheNew, when
 	// installed, interposes a buffer cache under every device-backed
@@ -115,6 +151,15 @@ func NewServer(k *mach.Kernel, pool int) (*Server, error) {
 	}
 	return s, nil
 }
+
+// SetTransfer installs the transfer-feature agreement.  Call at boot,
+// before the server takes traffic and before clients are created: the
+// value propagates to clients at NewClient time, and flipping it under
+// live traffic would desynchronize the two sides of the wire.
+func (s *Server) SetTransfer(t Transfer) { s.xfer = t }
+
+// TransferConfig reports the transfer-feature agreement.
+func (s *Server) TransferConfig() Transfer { return s.xfer }
 
 // Task returns the server task (for granting rights and shutdown).
 func (s *Server) Task() *mach.Task { return s.task }
@@ -258,46 +303,10 @@ func (s *Server) syncVolumes() error {
 }
 
 // --- wire helpers ---------------------------------------------------------
-
-func pack(fields ...[]byte) []byte {
-	var out []byte
-	for _, f := range fields {
-		var l [4]byte
-		binary.LittleEndian.PutUint32(l[:], uint32(len(f)))
-		out = append(out, l[:]...)
-		out = append(out, f...)
-	}
-	return out
-}
-
-func unpack(b []byte, n int) ([][]byte, bool) {
-	out := make([][]byte, 0, n)
-	for i := 0; i < n; i++ {
-		if len(b) < 4 {
-			return nil, false
-		}
-		l := binary.LittleEndian.Uint32(b)
-		b = b[4:]
-		if uint32(len(b)) < l {
-			return nil, false
-		}
-		out = append(out, b[:l])
-		b = b[l:]
-	}
-	return out, true
-}
-
-func u32b(v uint32) []byte {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	return b[:]
-}
-
-func u64b(v uint64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	return b[:]
-}
+//
+// The codec itself lives in vfs/wire (typed encode/decode per message);
+// what remains here is reply framing and the data-payload placement the
+// codec is agnostic to.
 
 func errReply(err error) *mach.Message {
 	return &mach.Message{ID: 1, Body: []byte(err.Error())}
@@ -305,6 +314,31 @@ func errReply(err error) *mach.Message {
 
 func okReply(body []byte, ool []byte) *mach.Message {
 	return &mach.Message{ID: 0, Body: body, OOL: ool}
+}
+
+// dataMsg builds a message whose data payload travels by region when
+// zero-copy is on and the payload spans at least a page, and out of line
+// (copy-once) otherwise.  Used symmetrically by server replies and
+// client writes.
+func dataMsg(id mach.MsgID, body, data []byte, zeroCopy bool) *mach.Message {
+	m := &mach.Message{ID: id, Body: body}
+	if zeroCopy && len(data) >= mach.PageSize {
+		m.Regions = []mach.RegionDesc{{Len: uint64(len(data)), Data: data}}
+	} else {
+		m.OOL = data
+	}
+	return m
+}
+
+// msgData returns a message's data payload wherever it traveled: by
+// region when the sender used zero-copy, out of line otherwise.  Every
+// data-carrying handler and client accepts both, so either side may have
+// the feature off (mixed-version wire compatibility).
+func msgData(m *mach.Message) []byte {
+	if len(m.Regions) > 0 {
+		return m.Regions[0].Payload()
+	}
+	return m.OOL
 }
 
 // wireErrors maps error strings back to the canonical sentinels so
@@ -358,6 +392,12 @@ func fsOpName(id mach.MsgID) string {
 		return "getea"
 	case MsgSync:
 		return "sync"
+	case MsgReadV:
+		return "readv"
+	case MsgWriteV:
+		return "writev"
+	case MsgStatBatch:
+		return "statbatch"
 	default:
 		return "unknown"
 	}
@@ -389,14 +429,11 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case MsgOpen:
-		f, ok := unpack(req.Body, 4)
-		if !ok || len(f[0]) < 1 || len(f[1]) < 1 || len(f[2]) < 1 {
+		r, ok := wire.DecodeOpenReq(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		profile := Profile(f[0][0])
-		write := f[1][0] != 0
-		create := f[2][0] != 0
-		fd, err := s.Disp.Open(profile, string(f[3]), write, create)
+		fd, err := s.Disp.Open(Profile(r.Profile), r.Path, r.Write, r.Create)
 		if err != nil {
 			return errReply(err)
 		}
@@ -430,7 +467,7 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 		}
 		return &mach.Message{
 			ID:   0,
-			Body: u32b(fd),
+			Body: wire.U32(fd),
 			Rights: []mach.PortRight{{
 				Name: fport, Disposition: mach.DispMakeSend,
 			}},
@@ -440,13 +477,30 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 		if err != nil {
 			return errReply(err)
 		}
-		return okReply(encodeAttr(a), nil)
-	case MsgMkdir:
-		f, ok := unpack(req.Body, 2)
-		if !ok || len(f[0]) < 1 {
+		return okReply(wire.EncodeAttr(a), nil)
+	case MsgStatBatch:
+		r, ok := wire.DecodeStatBatchReq(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		if err := s.Disp.Mkdir(Profile(f[0][0]), string(f[1])); err != nil {
+		// Per-slot errors: one missing path must not fail the other
+		// N-1 stats that share the crossing.
+		results := make([]wire.StatResult, len(r.Paths))
+		for i, p := range r.Paths {
+			a, err := s.Disp.Stat(p)
+			if err != nil {
+				results[i].Err = err.Error()
+			} else {
+				results[i].Attr = a
+			}
+		}
+		return okReply(nil, wire.EncodeStatBatchReply(results))
+	case MsgMkdir:
+		r, ok := wire.DecodeMkdirReq(req.Body)
+		if !ok {
+			return errReply(ErrBadHandle)
+		}
+		if err := s.Disp.Mkdir(Profile(r.Profile), r.Path); err != nil {
 			return errReply(err)
 		}
 		return okReply(nil, nil)
@@ -455,36 +509,36 @@ func (s *Server) handleControl(req *mach.Message) *mach.Message {
 		if err != nil {
 			return errReply(err)
 		}
-		return okReply(nil, encodeDirEnts(ents))
+		return okReply(nil, wire.EncodeDirEnts(ents))
 	case MsgRemove:
 		if err := s.Disp.Remove(string(req.Body)); err != nil {
 			return errReply(err)
 		}
 		return okReply(nil, nil)
 	case MsgRename:
-		f, ok := unpack(req.Body, 3)
-		if !ok || len(f[0]) < 1 {
+		r, ok := wire.DecodeRenameReq(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		if err := s.Disp.Rename(Profile(f[0][0]), string(f[1]), string(f[2])); err != nil {
+		if err := s.Disp.Rename(Profile(r.Profile), r.From, r.To); err != nil {
 			return errReply(err)
 		}
 		return okReply(nil, nil)
 	case MsgSetEA:
-		f, ok := unpack(req.Body, 4)
-		if !ok || len(f[0]) < 1 {
+		r, ok := wire.DecodeSetEAReq(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		if err := s.Disp.SetEA(Profile(f[0][0]), string(f[1]), string(f[2]), string(f[3])); err != nil {
+		if err := s.Disp.SetEA(Profile(r.Profile), r.Path, r.Key, r.Value); err != nil {
 			return errReply(err)
 		}
 		return okReply(nil, nil)
 	case MsgGetEA:
-		f, ok := unpack(req.Body, 2)
+		r, ok := wire.DecodeGetEAReq(req.Body)
 		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		v, err := s.Disp.GetEA(string(f[0]), string(f[1]))
+		v, err := s.Disp.GetEA(r.Path, r.Key)
 		if err != nil {
 			return errReply(err)
 		}
@@ -522,38 +576,85 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 	s.k.CPU.Exec(s.path)
 	switch req.ID {
 	case MsgRead:
-		if len(req.Body) < 12 {
+		r, ok := wire.DecodeReadReq(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		off := int64(binary.LittleEndian.Uint64(req.Body[0:8]))
-		n := binary.LittleEndian.Uint32(req.Body[8:12])
 		// The requested length is wire data: clamp it rather than let a
 		// client size the server's allocation (short reads are legal).
+		n := r.Len
 		if n > MaxReadChunk {
 			n = MaxReadChunk
 		}
 		buf := make([]byte, n)
-		got, err := s.Disp.ReadAt(fd, buf, off)
+		got, err := s.Disp.ReadAt(fd, buf, r.Off)
 		if err != nil && got == 0 {
 			return errReply(err)
 		}
-		return okReply(u32b(uint32(got)), buf[:got])
-	case MsgWrite:
-		if len(req.Body) < 8 {
+		// A page or more goes back by region descriptor — straight from
+		// the read buffer, no bytes through the copy path.
+		return dataMsg(0, wire.U32(uint32(got)), buf[:got], s.xfer.ZeroCopy)
+	case MsgReadV:
+		exts, ok := wire.DecodeExtents(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		off := int64(binary.LittleEndian.Uint64(req.Body[0:8]))
-		n, err := s.Disp.WriteAt(fd, req.OOL, off)
+		// One crossing, N extents: the counts ride inline, the gathered
+		// data rides one payload (region when large enough).
+		var buf []byte
+		ns := make([]uint32, len(exts))
+		for i, e := range exts {
+			n := e.Len
+			if n > MaxReadChunk {
+				n = MaxReadChunk
+			}
+			part := make([]byte, n)
+			got, err := s.Disp.ReadAt(fd, part, e.Off)
+			if err != nil && got == 0 {
+				return errReply(err)
+			}
+			ns[i] = uint32(got)
+			buf = append(buf, part[:got]...)
+		}
+		return dataMsg(0, wire.EncodeCounts(ns), buf, s.xfer.ZeroCopy)
+	case MsgWrite:
+		r, ok := wire.DecodeWriteReq(req.Body)
+		if !ok {
+			return errReply(ErrBadHandle)
+		}
+		n, err := s.Disp.WriteAt(fd, msgData(req), r.Off)
 		if err != nil {
 			return errReply(err)
 		}
-		return okReply(u32b(uint32(n)), nil)
-	case MsgTruncate:
-		if len(req.Body) < 8 {
+		return okReply(wire.U32(uint32(n)), nil)
+	case MsgWriteV:
+		exts, ok := wire.DecodeExtents(req.Body)
+		if !ok {
 			return errReply(ErrBadHandle)
 		}
-		size := int64(binary.LittleEndian.Uint64(req.Body[0:8]))
-		if err := s.Disp.Truncate(fd, size); err != nil {
+		data := msgData(req)
+		ns := make([]uint32, len(exts))
+		for i, e := range exts {
+			if uint64(len(data)) < uint64(e.Len) {
+				return errReply(ErrBadHandle)
+			}
+			// An error mid-vector fails the whole op; extents before it
+			// have landed, exactly as a short write followed by an error
+			// would on the single-op path.
+			n, err := s.Disp.WriteAt(fd, data[:e.Len], e.Off)
+			if err != nil {
+				return errReply(err)
+			}
+			ns[i] = uint32(n)
+			data = data[e.Len:]
+		}
+		return okReply(wire.EncodeCounts(ns), nil)
+	case MsgTruncate:
+		r, ok := wire.DecodeTruncateReq(req.Body)
+		if !ok {
+			return errReply(ErrBadHandle)
+		}
+		if err := s.Disp.Truncate(fd, r.Size); err != nil {
 			return errReply(err)
 		}
 		return okReply(nil, nil)
@@ -562,7 +663,7 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 		if err != nil {
 			return errReply(err)
 		}
-		return okReply(encodeAttr(a), nil)
+		return okReply(wire.EncodeAttr(a), nil)
 	case MsgClose:
 		// Write-behind contract: dirty data reaches the device by the
 		// time close returns, and a device error surfaces here — on the
@@ -606,69 +707,6 @@ func (s *Server) handleFile(fd uint32, req *mach.Message) *mach.Message {
 	}
 }
 
-func encodeAttr(a Attr) []byte {
-	var dir byte
-	if a.Dir {
-		dir = 1
-	}
-	out := append(u64b(uint64(a.Size)), dir)
-	out = append(out, u64b(a.ModTime)...)
-	return out
-}
-
-func decodeAttr(b []byte) (Attr, bool) {
-	if len(b) < 17 {
-		return Attr{}, false
-	}
-	return Attr{
-		Size:    int64(binary.LittleEndian.Uint64(b[0:8])),
-		Dir:     b[8] != 0,
-		ModTime: binary.LittleEndian.Uint64(b[9:17]),
-	}, true
-}
-
-func encodeDirEnts(ents []DirEnt) []byte {
-	var out []byte
-	out = append(out, u32b(uint32(len(ents)))...)
-	for _, e := range ents {
-		var dir byte
-		if e.Dir {
-			dir = 1
-		}
-		out = append(out, pack([]byte(e.Name), []byte{dir}, u64b(uint64(e.Size)))...)
-	}
-	return out
-}
-
-func decodeDirEnts(b []byte) ([]DirEnt, bool) {
-	if len(b) < 4 {
-		return nil, false
-	}
-	n := binary.LittleEndian.Uint32(b)
-	b = b[4:]
-	// Cap the pre-allocation: the count is wire data and must not be
-	// trusted to size memory (each entry needs >= 12 bytes anyway).
-	capHint := n
-	if capHint > uint32(len(b)/12) {
-		capHint = uint32(len(b) / 12)
-	}
-	out := make([]DirEnt, 0, capHint)
-	for i := uint32(0); i < n; i++ {
-		f, ok := unpack(b, 3)
-		if !ok {
-			return nil, false
-		}
-		consumed := 12 + len(f[0]) + len(f[1]) + len(f[2])
-		b = b[consumed:]
-		out = append(out, DirEnt{
-			Name: string(f[0]),
-			Dir:  f[1][0] != 0,
-			Size: int64(binary.LittleEndian.Uint64(f[2])),
-		})
-	}
-	return out, true
-}
-
 // --- client side ------------------------------------------------------------
 
 // Client is the personality-side library for talking to the file server.
@@ -676,20 +714,28 @@ type Client struct {
 	th      *mach.Thread
 	ctrl    mach.PortName
 	profile Profile
+	xfer    Transfer
 }
 
 // NewClient gives the calling task a connection to the server under the
-// given semantic profile.
+// given semantic profile.  The client inherits the server's transfer
+// agreement, so both ends of the wire use the same payload placement.
 func (s *Server) NewClient(th *mach.Thread, profile Profile) (*Client, error) {
 	n, err := th.Task().InsertRight(s.task, s.ctrl, mach.DispMakeSend)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{th: th, ctrl: n, profile: profile}, nil
+	return &Client{th: th, ctrl: n, profile: profile, xfer: s.xfer}, nil
 }
 
 func (c *Client) call(dest mach.PortName, id mach.MsgID, body, ool []byte) (*mach.Message, error) {
-	reply, err := c.th.Call(dest, &mach.Message{ID: id, Body: body, OOL: ool}, mach.CallOpts{})
+	return c.callMsg(dest, &mach.Message{ID: id, Body: body, OOL: ool})
+}
+
+// callMsg sends a prebuilt request (region payloads, vectored bodies)
+// and maps error replies back to their sentinels.
+func (c *Client) callMsg(dest mach.PortName, req *mach.Message) (*mach.Message, error) {
+	reply, err := c.th.Call(dest, req, mach.CallOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -708,14 +754,7 @@ type File struct {
 
 // Open opens a file, creating it if create is set.
 func (c *Client) Open(path string, write, create bool) (*File, error) {
-	var w, cr byte
-	if write {
-		w = 1
-	}
-	if create {
-		cr = 1
-	}
-	body := pack([]byte{byte(c.profile)}, []byte{w}, []byte{cr}, []byte(path))
+	body := wire.OpenReq{Profile: byte(c.profile), Write: write, Create: create, Path: path}.Encode()
 	reply, err := c.call(c.ctrl, MsgOpen, body, nil)
 	if err != nil {
 		return nil, err
@@ -730,30 +769,98 @@ func (c *Client) Open(path string, write, create bool) (*File, error) {
 	}, nil
 }
 
-// ReadAt reads up to len(p) bytes at off.
+// ReadAt reads up to len(p) bytes at off.  A reply of a page or more
+// arrives by region descriptor when zero-copy is on; the client accepts
+// either placement.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	body := append(u64b(uint64(off)), u32b(uint32(len(p)))...)
+	body := wire.ReadReq{Off: off, Len: uint32(len(p))}.Encode()
 	reply, err := f.c.call(f.port, MsgRead, body, nil)
 	if err != nil {
 		return 0, err
 	}
+	if len(reply.Body) < 4 {
+		return 0, ErrBadHandle
+	}
 	n := int(binary.LittleEndian.Uint32(reply.Body))
-	copy(p, reply.OOL[:n])
+	data := msgData(reply)
+	if n > len(data) {
+		return 0, ErrBadHandle
+	}
+	copy(p, data[:n])
 	return n, nil
 }
 
-// WriteAt writes p at off.
+// ReadV reads several extents in one crossing.  The returned slices
+// alias one gathered reply buffer, in extent order.
+func (f *File) ReadV(exts []Extent) ([][]byte, error) {
+	if len(exts) == 0 {
+		return nil, nil
+	}
+	reply, err := f.c.call(f.port, MsgReadV, wire.EncodeExtents(exts), nil)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := wire.DecodeCounts(reply.Body)
+	if !ok || len(ns) != len(exts) {
+		return nil, ErrBadHandle
+	}
+	data := msgData(reply)
+	out := make([][]byte, len(ns))
+	for i, n := range ns {
+		if uint64(len(data)) < uint64(n) {
+			return nil, ErrBadHandle
+		}
+		out[i] = data[:n]
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// WriteAt writes p at off: by region descriptor for a page or more with
+// zero-copy on, out of line otherwise.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
-	reply, err := f.c.call(f.port, MsgWrite, u64b(uint64(off)), p)
+	req := dataMsg(MsgWrite, wire.WriteReq{Off: off}.Encode(), p, f.c.xfer.ZeroCopy)
+	reply, err := f.c.callMsg(f.port, req)
 	if err != nil {
 		return 0, err
+	}
+	if len(reply.Body) < 4 {
+		return 0, ErrBadHandle
 	}
 	return int(binary.LittleEndian.Uint32(reply.Body)), nil
 }
 
+// WriteV writes several buffers in one crossing, gathering them into one
+// payload.  Returns the per-buffer write counts.
+func (f *File) WriteV(ws []VecWrite) ([]int, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	exts := make([]Extent, len(ws))
+	var data []byte
+	for i, w := range ws {
+		exts[i] = Extent{Off: w.Off, Len: uint32(len(w.Data))}
+		data = append(data, w.Data...)
+	}
+	req := dataMsg(MsgWriteV, wire.EncodeExtents(exts), data, f.c.xfer.ZeroCopy)
+	reply, err := f.c.callMsg(f.port, req)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := wire.DecodeCounts(reply.Body)
+	if !ok || len(ns) != len(ws) {
+		return nil, ErrBadHandle
+	}
+	out := make([]int, len(ns))
+	for i, n := range ns {
+		out[i] = int(n)
+	}
+	return out, nil
+}
+
 // Truncate resizes the file.
 func (f *File) Truncate(size int64) error {
-	_, err := f.c.call(f.port, MsgTruncate, u64b(uint64(size)), nil)
+	_, err := f.c.call(f.port, MsgTruncate, wire.TruncateReq{Size: size}.Encode(), nil)
 	return err
 }
 
@@ -763,7 +870,7 @@ func (f *File) Stat() (Attr, error) {
 	if err != nil {
 		return Attr{}, err
 	}
-	a, ok := decodeAttr(reply.Body)
+	a, ok := wire.DecodeAttr(reply.Body)
 	if !ok {
 		return Attr{}, ErrBadHandle
 	}
@@ -782,16 +889,43 @@ func (c *Client) Stat(path string) (Attr, error) {
 	if err != nil {
 		return Attr{}, err
 	}
-	a, ok := decodeAttr(reply.Body)
+	a, ok := wire.DecodeAttr(reply.Body)
 	if !ok {
 		return Attr{}, ErrBadHandle
 	}
 	return a, nil
 }
 
+// StatBatch stats N paths in one crossing.  Per-path errors come back in
+// errs (nil entries mean success); the call-level error covers transport
+// and decode failures only.
+func (c *Client) StatBatch(paths []string) ([]Attr, []error, error) {
+	if len(paths) == 0 {
+		return nil, nil, nil
+	}
+	reply, err := c.call(c.ctrl, MsgStatBatch, wire.StatBatchReq{Paths: paths}.Encode(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, ok := wire.DecodeStatBatchReply(reply.OOL)
+	if !ok || len(results) != len(paths) {
+		return nil, nil, ErrBadHandle
+	}
+	attrs := make([]Attr, len(results))
+	errs := make([]error, len(results))
+	for i, r := range results {
+		if r.Err != "" {
+			errs[i] = fromWire(r.Err)
+		} else {
+			attrs[i] = r.Attr
+		}
+	}
+	return attrs, errs, nil
+}
+
 // Mkdir creates a directory.
 func (c *Client) Mkdir(path string) error {
-	_, err := c.call(c.ctrl, MsgMkdir, pack([]byte{byte(c.profile)}, []byte(path)), nil)
+	_, err := c.call(c.ctrl, MsgMkdir, wire.MkdirReq{Profile: byte(c.profile), Path: path}.Encode(), nil)
 	return err
 }
 
@@ -801,11 +935,49 @@ func (c *Client) ReadDir(path string) ([]DirEnt, error) {
 	if err != nil {
 		return nil, err
 	}
-	ents, ok := decodeDirEnts(reply.OOL)
+	ents, ok := wire.DecodeDirEnts(reply.OOL)
 	if !ok {
 		return nil, ErrBadHandle
 	}
 	return ents, nil
+}
+
+// ReadDirStat lists a directory and stats every entry — the readdir+stat
+// storm every file browser issues.  With batching on, all N stats share
+// one MsgStatBatch crossing (two crossings total, regardless of N); with
+// it off, the fallback pays one Stat crossing per entry, which is what
+// E-XFER charts.  Per-entry stat errors surface as zero Attrs — an entry
+// racing a concurrent remove does not fail the listing.
+func (c *Client) ReadDirStat(path string) ([]DirEnt, []Attr, error) {
+	ents, err := c.ReadDir(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ents) == 0 {
+		return ents, nil, nil
+	}
+	paths := make([]string, len(ents))
+	for i, e := range ents {
+		if strings.HasSuffix(path, "/") {
+			paths[i] = path + e.Name
+		} else {
+			paths[i] = path + "/" + e.Name
+		}
+	}
+	if c.xfer.Batch {
+		attrs, _, err := c.StatBatch(paths)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ents, attrs, nil
+	}
+	attrs := make([]Attr, len(paths))
+	for i, p := range paths {
+		if a, err := c.Stat(p); err == nil {
+			attrs[i] = a
+		}
+	}
+	return ents, attrs, nil
 }
 
 // Remove deletes a file or empty directory.
@@ -816,19 +988,19 @@ func (c *Client) Remove(path string) error {
 
 // Rename moves a file.
 func (c *Client) Rename(from, to string) error {
-	_, err := c.call(c.ctrl, MsgRename, pack([]byte{byte(c.profile)}, []byte(from), []byte(to)), nil)
+	_, err := c.call(c.ctrl, MsgRename, wire.RenameReq{Profile: byte(c.profile), From: from, To: to}.Encode(), nil)
 	return err
 }
 
 // SetEA sets an extended attribute.
 func (c *Client) SetEA(path, key, value string) error {
-	_, err := c.call(c.ctrl, MsgSetEA, pack([]byte{byte(c.profile)}, []byte(path), []byte(key), []byte(value)), nil)
+	_, err := c.call(c.ctrl, MsgSetEA, wire.SetEAReq{Profile: byte(c.profile), Path: path, Key: key, Value: value}.Encode(), nil)
 	return err
 }
 
 // GetEA reads an extended attribute.
 func (c *Client) GetEA(path, key string) (string, error) {
-	reply, err := c.call(c.ctrl, MsgGetEA, pack([]byte(path), []byte(key)), nil)
+	reply, err := c.call(c.ctrl, MsgGetEA, wire.GetEAReq{Path: path, Key: key}.Encode(), nil)
 	if err != nil {
 		return "", err
 	}

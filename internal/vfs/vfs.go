@@ -15,6 +15,8 @@ package vfs
 import (
 	"errors"
 	"strings"
+
+	"repro/internal/vfs/wire"
 )
 
 // Errors returned by the file layer.
@@ -37,21 +39,12 @@ var (
 	ErrSemanticClash = errors.New("vfs: operation valid in one personality's semantics but not expressible here")
 )
 
-// Attr describes a file.
-type Attr struct {
-	Size    int64
-	Dir     bool
-	ModTime uint64 // simulated nanoseconds
-	// EA support (HPFS/OS2): extended attributes.
-	EAs map[string]string
-}
+// Attr describes a file.  The concrete type lives in vfs/wire so the
+// typed codec and the server share it without an import cycle.
+type Attr = wire.Attr
 
-// DirEnt is a directory entry.
-type DirEnt struct {
-	Name string
-	Dir  bool
-	Size int64
-}
+// DirEnt is a directory entry (see Attr for why it is an alias).
+type DirEnt = wire.DirEnt
 
 // Vnode is the extended vnode interface every physical file system
 // implements.
@@ -141,6 +134,25 @@ type CachedDev interface {
 	// Sync flushes all dirty blocks to the underlying device.  On error
 	// the unwritten blocks stay dirty, so a later Sync can retry.
 	Sync() error
+}
+
+// SectorRun is one contiguous run of sectors bound for the device.
+type SectorRun struct {
+	Sector uint64
+	Data   []byte
+}
+
+// BatchDev is a BlockDev whose driver can commit several discontiguous
+// sector runs in one vectored call — one RPC crossing for the whole
+// write-behind flush instead of one per run.  The write count reports
+// how many runs reached the device before the first error, so a caller
+// can keep exactly the unwritten runs dirty for retry.  Only drivers
+// booted with batching enabled advertise this interface; the buffer
+// cache type-asserts for it, so a features-off boot never takes the
+// vectored path.
+type BatchDev interface {
+	BlockDev
+	WriteSectorsV(runs []SectorRun) (int, error)
 }
 
 // deadDev is the device of an unmounted volume: every access fails.

@@ -1,97 +1,18 @@
 package vfs
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/mach"
+	"repro/internal/vfs/wire"
 )
 
-// Robustness tests for the file server's wire codecs: hostile or
-// truncated bytes must fail cleanly, never panic.
-
-func TestUnpackRejectsTruncation(t *testing.T) {
-	good := pack([]byte("abc"), []byte("defg"))
-	if f, ok := unpack(good, 2); !ok || string(f[0]) != "abc" || string(f[1]) != "defg" {
-		t.Fatalf("good unpack failed: %v %v", f, ok)
-	}
-	for cut := 0; cut < len(good); cut++ {
-		if _, ok := unpack(good[:cut], 2); ok {
-			t.Fatalf("truncation at %d accepted", cut)
-		}
-	}
-	// Length field claiming more bytes than present.
-	bogus := []byte{0xFF, 0xFF, 0xFF, 0x7F, 'x'}
-	if _, ok := unpack(bogus, 1); ok {
-		t.Fatal("oversized length accepted")
-	}
-}
-
-func TestDecodeAttrShort(t *testing.T) {
-	if _, ok := decodeAttr([]byte{1, 2, 3}); ok {
-		t.Fatal("short attr accepted")
-	}
-	a := Attr{Size: 123, Dir: true, ModTime: 9}
-	got, ok := decodeAttr(encodeAttr(a))
-	if !ok || got.Size != 123 || !got.Dir || got.ModTime != 9 {
-		t.Fatalf("round trip: %+v %v", got, ok)
-	}
-}
-
-func TestDecodeDirEntsGarbage(t *testing.T) {
-	if _, ok := decodeDirEnts(nil); ok {
-		t.Fatal("nil accepted")
-	}
-	if _, ok := decodeDirEnts([]byte{9, 0, 0, 0}); ok {
-		t.Fatal("count without entries accepted")
-	}
-	ents := []DirEnt{{Name: "a", Dir: true, Size: 5}, {Name: "bb", Size: 99}}
-	got, ok := decodeDirEnts(encodeDirEnts(ents))
-	if !ok || len(got) != 2 || got[0].Name != "a" || !got[0].Dir || got[1].Size != 99 {
-		t.Fatalf("round trip: %+v %v", got, ok)
-	}
-}
-
-// Property: the dirent codec round-trips arbitrary entries, and the
-// decoder never panics on arbitrary byte soup.
-func TestPropertyDirEntCodec(t *testing.T) {
-	roundTrip := func(names []string, sizes []int64) bool {
-		var ents []DirEnt
-		for i, n := range names {
-			if i >= 12 {
-				break
-			}
-			var sz int64
-			if i < len(sizes) && sizes[i] >= 0 {
-				sz = sizes[i]
-			}
-			ents = append(ents, DirEnt{Name: n, Dir: i%2 == 0, Size: sz})
-		}
-		got, ok := decodeDirEnts(encodeDirEnts(ents))
-		if !ok || len(got) != len(ents) {
-			return false
-		}
-		for i := range ents {
-			if got[i] != ents[i] {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
-	noPanic := func(soup []byte) bool {
-		decodeDirEnts(soup)
-		decodeAttr(soup)
-		unpack(soup, 3)
-		fromWire(string(soup))
-		return true
-	}
-	if err := quick.Check(noPanic, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
+// Codec robustness tests live in vfs/wire; this file covers the pieces
+// that need the server: error-sentinel mapping, wire compatibility of
+// old-style messages against the live server, and hostile-input
+// survival.
 
 func TestFromWireMapsAllSentinels(t *testing.T) {
 	for _, e := range wireErrors {
@@ -111,6 +32,128 @@ func TestProfileStrings(t *testing.T) {
 	}
 }
 
+// TestOldClientAgainstNewServer hand-rolls request bodies with the
+// pre-wire ad-hoc layouts (legacy pack/u64/u32 framing, data out of
+// line, no regions, no batches) and speaks them straight at a
+// redesigned server.  Every reply must decode with the legacy rules:
+// the single-op wire format is frozen.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	_, _, c := newServerRig(t)
+	th := c.th
+
+	legacyPack := func(fields ...[]byte) []byte {
+		var out []byte
+		for _, f := range fields {
+			var l [4]byte
+			binary.LittleEndian.PutUint32(l[:], uint32(len(f)))
+			out = append(out, l[:]...)
+			out = append(out, f...)
+		}
+		return out
+	}
+	u64 := func(v uint64) []byte { b := make([]byte, 8); binary.LittleEndian.PutUint64(b, v); return b }
+	u32 := func(v uint32) []byte { b := make([]byte, 4); binary.LittleEndian.PutUint32(b, v); return b }
+
+	// Old-style open: pack(profile, write, create, path).
+	reply, err := th.Call(c.ctrl, &mach.Message{
+		ID:   MsgOpen,
+		Body: legacyPack([]byte{byte(ProfileOS2)}, []byte{1}, []byte{1}, []byte("/legacy.dat")),
+	}, mach.CallOpts{})
+	if err != nil || reply.ID != 0 {
+		t.Fatalf("legacy open failed: %v %v", err, reply)
+	}
+	if len(reply.Rights) != 1 {
+		t.Fatalf("legacy open got no file port: %+v", reply)
+	}
+	fport := reply.Rights[0].Name
+
+	// Old-style write: u64 off body, data out of line.
+	payload := []byte("written by a pre-wire client")
+	reply, err = th.Call(fport, &mach.Message{ID: MsgWrite, Body: u64(0), OOL: payload}, mach.CallOpts{})
+	if err != nil || reply.ID != 0 {
+		t.Fatalf("legacy write failed: %v %v", err, reply)
+	}
+	if got := binary.LittleEndian.Uint32(reply.Body); int(got) != len(payload) {
+		t.Fatalf("legacy write count: %d != %d", got, len(payload))
+	}
+
+	// Old-style read: u64 off + u32 len; reply data must be out of line
+	// (a zero-copy-off server never sends regions).
+	reply, err = th.Call(fport, &mach.Message{
+		ID:   MsgRead,
+		Body: append(u64(0), u32(uint32(len(payload)))...),
+	}, mach.CallOpts{})
+	if err != nil || reply.ID != 0 {
+		t.Fatalf("legacy read failed: %v %v", err, reply)
+	}
+	if len(reply.Regions) != 0 {
+		t.Fatal("features-off server sent a region to a legacy client")
+	}
+	n := binary.LittleEndian.Uint32(reply.Body)
+	if !bytes.Equal(reply.OOL[:n], payload) {
+		t.Fatalf("legacy read returned %q", reply.OOL[:n])
+	}
+
+	// Old-style fstat reply decodes with the legacy fixed layout.
+	reply, err = th.Call(fport, &mach.Message{ID: MsgFStat}, mach.CallOpts{})
+	if err != nil || reply.ID != 0 {
+		t.Fatalf("legacy fstat failed: %v %v", err, reply)
+	}
+	if len(reply.Body) < 17 {
+		t.Fatalf("legacy fstat body too short: %d", len(reply.Body))
+	}
+	if sz := binary.LittleEndian.Uint64(reply.Body[0:8]); int(sz) != len(payload) {
+		t.Fatalf("legacy fstat size: %d", sz)
+	}
+
+	// Old-style close.
+	if reply, err = th.Call(fport, &mach.Message{ID: MsgClose}, mach.CallOpts{}); err != nil || reply.ID != 0 {
+		t.Fatalf("legacy close failed: %v %v", err, reply)
+	}
+}
+
+// TestMixedTransferPeers covers the other mixed-version direction: a
+// zero-copy-enabled peer sending regions to a handler that reads
+// msgData, and a plain OOL sender hitting the same handler.
+func TestMixedTransferPeers(t *testing.T) {
+	_, srv, c := newServerRig(t)
+	srv.SetTransfer(Transfer{ZeroCopy: true, Batch: true})
+	f, err := c.Open("/mixed.dat", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// New-style write: payload by region descriptor (page-sized).
+	big := bytes.Repeat([]byte("R"), mach.PageSize)
+	reply, err := c.th.Call(f.port, &mach.Message{
+		ID:      MsgWrite,
+		Body:    wire.WriteReq{Off: 0}.Encode(),
+		Regions: []mach.RegionDesc{{Len: uint64(len(big)), Data: big}},
+	}, mach.CallOpts{})
+	if err != nil || reply.ID != 0 {
+		t.Fatalf("region write failed: %v %v", err, reply)
+	}
+
+	// Old-style write to the same file: data out of line.
+	reply, err = c.th.Call(f.port, &mach.Message{
+		ID:   MsgWrite,
+		Body: wire.WriteReq{Off: int64(len(big))}.Encode(),
+		OOL:  []byte("tail"),
+	}, mach.CallOpts{})
+	if err != nil || reply.ID != 0 {
+		t.Fatalf("ool write failed: %v %v", err, reply)
+	}
+
+	got := make([]byte, len(big)+4)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(big)], big) || string(got[len(big):]) != "tail" {
+		t.Fatal("mixed-placement writes corrupted the file")
+	}
+}
+
 // TestServerSurvivesMalformedRequests: raw hostile messages to the
 // control and file ports must produce error replies, never kill the
 // server task.
@@ -123,7 +166,7 @@ func TestServerSurvivesMalformedRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	attack := func(port mach.PortName, id mach.MsgID, body []byte) {
-		reply, err := c.th.RPC(port, &mach.Message{ID: id, Body: body})
+		reply, err := c.th.Call(port, &mach.Message{ID: id, Body: body}, mach.CallOpts{})
 		if err != nil {
 			t.Fatalf("RPC died (server crashed?): %v", err)
 		}
@@ -131,11 +174,11 @@ func TestServerSurvivesMalformedRequests(t *testing.T) {
 			t.Fatalf("malformed %v accepted", id)
 		}
 	}
-	for _, id := range []mach.MsgID{MsgOpen, MsgMkdir, MsgRename, MsgSetEA, MsgGetEA} {
+	for _, id := range []mach.MsgID{MsgOpen, MsgMkdir, MsgRename, MsgSetEA, MsgGetEA, MsgStatBatch} {
 		attack(c.ctrl, id, nil)
 		attack(c.ctrl, id, []byte{1, 2})
 	}
-	for _, id := range []mach.MsgID{MsgRead, MsgWrite, MsgTruncate} {
+	for _, id := range []mach.MsgID{MsgRead, MsgWrite, MsgTruncate, MsgReadV, MsgWriteV} {
 		attack(f.port, id, nil)
 		attack(f.port, id, []byte{1})
 	}

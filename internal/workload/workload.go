@@ -314,6 +314,13 @@ func graphics(env Env, wsMB int, fills, passes int) error {
 // native machine's 16 MB and page there while staying resident on the
 // 64 MB Workplace OS machine — which is how the paper's PM rows land at
 // or below parity despite the RPC messaging cost.
+//
+// Both processes are driven from one goroutine in strict message order.
+// The engine's cache model makes every charge order-sensitive, so two
+// goroutines charging concurrently (the old shape) made the total
+// depend on the host scheduler — the Table 1 PM rows flickered by a few
+// cache misses between runs.  Serial dispatch pins one canonical
+// interleaving; the modeled message pattern is unchanged.
 func pmTasking(env Env, wsMB int, touches uint64, messages int, workPerMsg uint64) error {
 	a, err := env.NewProcess("pm-a")
 	if err != nil {
@@ -323,24 +330,16 @@ func pmTasking(env Env, wsMB int, touches uint64, messages int, workPerMsg uint6
 	if err != nil {
 		return err
 	}
-	done := make(chan error, 1)
-	go func() {
-		for i := 0; i < messages; i++ {
-			if _, e := b.WinGetMsg(true); e != os2.NoError {
-				done <- apiErr("getmsg", e)
-				return
-			}
-			b.GfxLibCall(workPerMsg) // window procedure
-			if e := b.WinPostMsg(a.PID(), 0x0401, uint32(i)); e != os2.NoError {
-				done <- apiErr("reply", e)
-				return
-			}
-		}
-		done <- nil
-	}()
 	for i := 0; i < messages; i++ {
 		if e := a.WinPostMsg(b.PID(), 0x0400, uint32(i)); e != os2.NoError {
 			return apiErr("post", e)
+		}
+		if _, e := b.WinGetMsg(true); e != os2.NoError {
+			return apiErr("getmsg", e)
+		}
+		b.GfxLibCall(workPerMsg) // window procedure
+		if e := b.WinPostMsg(a.PID(), 0x0401, uint32(i)); e != os2.NoError {
+			return apiErr("reply", e)
 		}
 		if _, e := a.WinGetMsg(true); e != os2.NoError {
 			return apiErr("get", e)
@@ -348,5 +347,5 @@ func pmTasking(env Env, wsMB int, touches uint64, messages int, workPerMsg uint6
 		a.GfxLibCall(workPerMsg)
 		memoryPressure(env, wsMB, touches)
 	}
-	return <-done
+	return nil
 }

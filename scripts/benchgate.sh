@@ -5,8 +5,15 @@
 # with `go run ./cmd/benchtables -json BENCH_baseline.json` after a
 # deliberate cost-model change, together with the seed pins in
 # cache_test.go / smp_test.go.
+#
+# The second run asserts the E-XFER crossover cells: copying must stay
+# cheaper than region mapping below a page, region transfer must stay
+# cheaper from a page up (per-page map cost, zero per-byte), batching
+# must amortize the crossing cost of small transfers, and the
+# file-intensive ratios must not regress with zero-copy + batching on.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/benchtables -only 1 -gate BENCH_baseline.json
+go run ./cmd/benchtables -only xfer -gatexfer

@@ -11,7 +11,11 @@
 # while the SMP dispatcher binds/steals from many goroutines at once;
 # kflight's lock-free rings are swept by dump queries racing live
 # emitters while the watchdog polls the kstat fabric from its own
-# goroutine).
+# goroutine; the vectored paths move region descriptors and batched
+# sub-messages between client threads and pooled servers with zero
+# copies, so aliasing bugs there surface only under the race detector —
+# the vfs and drivers suites drive CallV/ReadV/WriteV/StatBatch and the
+# vectored write-behind flush from many concurrent clients).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -19,7 +23,7 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/kflight/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/...
+go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/kflight/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/... ./internal/drivers/...
 
 # Chaos short soak under the race detector: one seed, all six fault kinds,
 # full invariant oracle.  Kept -short so the race-instrumented run stays in

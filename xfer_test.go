@@ -1,0 +1,92 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestXferRegionZeroPerByte gates the zero-copy claim on the E-XFER
+// sweep itself: a region transfer charges per page mapped and nothing
+// per byte, so every payload that fits one page must cost identical
+// cycles, and the large-payload slope must be a small fraction of the
+// copy path's.
+func TestXferRegionZeroPerByte(t *testing.T) {
+	rows, err := bench.XferSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := map[int]bench.XferRow{}
+	for _, r := range rows {
+		cell[r.Size] = r
+	}
+	// 32 B and 4096 B both map exactly one page: the region cost must
+	// not move by a single cycle — that difference would be a per-byte
+	// charge.
+	if a, b := cell[32].Region, cell[4096].Region; a != b {
+		t.Errorf("region transfer cost moved with payload size within one page: %d cycles at 32 B, %d at 4096 B", a, b)
+	}
+	// From one page to sixteen the region path pays 15 more page maps;
+	// the copy path pays 61440 more copied bytes.  The region slope must
+	// be under a tenth of the copy slope or the per-byte charge leaked
+	// back in.
+	regionSlope := cell[65536].Region - cell[4096].Region
+	copySlope := cell[65536].Copy - cell[4096].Copy
+	if regionSlope*10 >= copySlope {
+		t.Errorf("region slope %d cycles over 60 KiB is not <10%% of copy slope %d", regionSlope, copySlope)
+	}
+	// Batching amortizes the fixed crossing cost: per-op cost of an
+	// 8-wide batch must be under half the one-call-per-op cost while the
+	// payload is small enough for the crossing to dominate.
+	for _, size := range []int{32, 256} {
+		if 2*cell[size].Batched >= cell[size].Copy {
+			t.Errorf("batched %d B costs %d cycles/op vs %d unbatched — crossing not amortized",
+				size, cell[size].Batched, cell[size].Copy)
+		}
+	}
+}
+
+// TestXferFileIntensiveImproves gates the end-to-end payoff: with the
+// buffer cache at 256 sectors, turning zero-copy and vectored batching
+// on must not worsen either file-intensive Table 1 ratio, and must
+// strictly improve FI2 (the mix with enough write-behind traffic for
+// vectored flushes to matter).
+func TestXferFileIntensiveImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots eight full systems")
+	}
+	fi, err := bench.XferFI(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.OnFI1 > fi.OffFI1 {
+		t.Errorf("FI1 ratio regressed with features on: %.4f -> %.4f", fi.OffFI1, fi.OnFI1)
+	}
+	if fi.OnFI2 >= fi.OffFI2 {
+		t.Errorf("FI2 ratio did not improve with features on: %.4f -> %.4f", fi.OffFI2, fi.OnFI2)
+	}
+}
+
+// TestXferFeaturesOffSeedPinned is the api_redesign compatibility gate:
+// a boot with ZeroCopy and BatchRPC explicitly off (the default) must
+// model File Intensive 1 byte-identically to the pre-redesign pin —
+// the new region-map and batch-demux kernel paths exist at fixed
+// addresses but are never executed, and no layout cursor moved.
+func TestXferFeaturesOffSeedPinned(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ZeroCopy = false
+	cfg.BatchRPC = false
+	s, err := core.Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.Run(workload.FileIntensive1, s.WorkloadEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != seedFI1WPOS {
+		t.Errorf("features-off FI1 = %d cycles, want the seed pin %d", res.Cycles, seedFI1WPOS)
+	}
+}
