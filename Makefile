@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check tables stats profile benchgate smp chaos blackbox
+.PHONY: all build test check tables stats profile benchgate smp chaos blackbox tail
 
 all: build test
 
@@ -46,6 +46,12 @@ smp:
 # populated wait-for graph with no false deadlock cycles.
 blackbox:
 	sh scripts/blackbox_smoke.sh
+
+# Tail-latency smoke: boot wpos, run a workload, fetch the tail dump over
+# the monitor's RPC, and assert recorded request families plus retained
+# exemplars with multi-hop (driver-chained) ledgers.
+tail:
+	sh scripts/tail_smoke.sh
 
 # Chaos short soak: one fixed seed driving mixed OS/2 + POSIX + MVM + RPC
 # traffic through all six fault kinds with the invariant oracle on (~30s).

@@ -182,6 +182,8 @@ func renderFrame(d kstat.Snapshot, res workload.Result, frame, iters int, wall t
 		calls, d.Counters["mach.rpc.errors"],
 		d.Counters["mach.rpc.bytes_in"], d.Counters["mach.rpc.bytes_out"],
 		d.Counters["mach.kernel.entries"])
+	fmt.Printf("fastpath  %8d batched sub-calls  %10d B OOL-mapped\n",
+		d.Counters["mach.rpc.batched"], d.Counters["mach.ool.bytes_mapped"])
 	if h, ok := d.Histograms["mach.rpc.latency_cycles"]; ok && h.Count > 0 {
 		fmt.Printf("latency   p50=%d  p99=%d  max=%d cycles  (n=%d, mean=%.0f)\n",
 			h.Quantile(0.5), h.Quantile(0.99), h.Max(), h.Count, h.Mean())

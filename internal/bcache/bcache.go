@@ -20,6 +20,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/iosys"
 	"repro/internal/kflight"
+	"repro/internal/klat"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
 	"repro/internal/vfs"
@@ -151,7 +152,7 @@ func (c *Cache) ReadSectors(sector uint64, buf []byte) error {
 		return c.inner.ReadSectors(sector, buf)
 	}
 	n := uint64(len(buf) / SectorSize)
-	c.mu.Lock()
+	c.lockArm()
 	defer c.mu.Unlock()
 	c.eng.Exec(c.op)
 	seq := c.seqValid && sector == c.nextSeq
@@ -224,7 +225,7 @@ func (c *Cache) WriteSectors(sector uint64, data []byte) error {
 		return c.inner.WriteSectors(sector, data)
 	}
 	n := uint64(len(data) / SectorSize)
-	c.mu.Lock()
+	c.lockArm()
 	defer c.mu.Unlock()
 	c.eng.Exec(c.op)
 	for i := uint64(0); i < n; i++ {
@@ -257,7 +258,7 @@ func (c *Cache) WriteSectors(sector uint64, data []byte) error {
 // error the blocks that could not be written remain dirty so the caller
 // can retry (e.g. after FaultyDev.Heal).
 func (c *Cache) Sync() error {
-	c.mu.Lock()
+	c.lockArm()
 	defer c.mu.Unlock()
 	if len(c.dirtyQ) == 0 {
 		return nil
@@ -475,9 +476,33 @@ func (c *Cache) removeFromDirtyQ(sectors []uint64) {
 	c.dirtyQ = q
 }
 
+// lockArm takes the cache lock under a klat wait mark.  The lock is
+// held across the inner device calls (ReadSectors misses, write-behind
+// and Sync flushes all happen locked), so with several file-server pool
+// threads in flight, waiting here IS queueing on the single disk arm —
+// the mark names those cycles in a request's latency ledger instead of
+// letting them hide inside the file server's service time.
+func (c *Cache) lockArm() {
+	if lt := klat.For(c.eng); lt != nil {
+		end := lt.MarkBegin("bcache-lock")
+		c.mu.Lock()
+		end()
+		return
+	}
+	c.mu.Lock()
+}
+
 // account records the op's observation-only metrics.  It never charges
 // the engine; with kstat detached it only refreshes nothing.
 func (c *Cache) account(hits, misses, ra, wb uint64) {
+	// Exemplar annotations: the counts ride on the current request's
+	// ledger so a p99 drill-down shows whether the hop missed or hit.
+	if lt := klat.For(c.eng); lt != nil {
+		lt.Note("bcache.hit", hits)
+		lt.Note("bcache.miss", misses)
+		lt.Note("bcache.readahead", ra)
+		lt.Note("bcache.writeback", wb)
+	}
 	// One flight event per outcome class keeps the ring coarse: a
 	// postmortem wants "the cache was missing right before the stall",
 	// not a per-sector ledger (kstat holds the exact counts).

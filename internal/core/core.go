@@ -21,6 +21,7 @@ import (
 	"repro/internal/iosys"
 	"repro/internal/jfs"
 	"repro/internal/kflight"
+	"repro/internal/klat"
 	"repro/internal/kstat"
 	"repro/internal/ksync"
 	"repro/internal/ktime"
@@ -200,6 +201,11 @@ func Boot(cfg Config) (*System, error) {
 	// engine, the raw material of postmortem dumps.  Like kstat it is
 	// observation-only — a boot with it detached is cycle-identical.
 	kflight.Attach(s.Kernel.CPU)
+	// Tail-latency ledger: every Call mints a request hop, the RPC path
+	// stamps it, the slowest requests keep their full hop-by-hop
+	// timelines for MsgTailDump / cmd/klat.  Observation-only like the
+	// planes above — a detached boot models bit-identical cycles.
+	klat.Attach(s.Kernel.CPU)
 	// On a multi-engine boot, seed the per-engine kstat families so every
 	// exposition lists all engines from the first frame.
 	s.Kernel.PublishCPUStats()

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/iosys"
+	"repro/internal/klat"
 	"repro/internal/ktrace"
 )
 
@@ -90,7 +91,7 @@ func (d *Disk) ReadSectors(sector uint64, buf []byte) error {
 	}
 	defer sp.End()
 	n := uint64(len(buf) / SectorSize)
-	d.mu.Lock()
+	d.lockArm()
 	if sector+n > uint64(len(d.sectors)) {
 		d.mu.Unlock()
 		return ErrBadSector
@@ -129,7 +130,7 @@ func (d *Disk) WriteSectors(sector uint64, data []byte) error {
 	}
 	defer sp.End()
 	n := uint64(len(data) / SectorSize)
-	d.mu.Lock()
+	d.lockArm()
 	if sector+n > uint64(len(d.sectors)) {
 		d.mu.Unlock()
 		return ErrBadSector
@@ -147,6 +148,20 @@ func (d *Disk) WriteSectors(sector uint64, data []byte) error {
 		return err
 	}
 	return d.intr.Raise(d.vector)
+}
+
+// lockArm takes the arm mutex under a klat wait mark: there is one
+// head, seeks are serialized on it, and a request's latency ledger
+// should name time spent behind a competitor's seek as arm queueing
+// rather than fold it into driver service.
+func (d *Disk) lockArm() {
+	if lt := klat.For(d.eng); lt != nil {
+		end := lt.MarkBegin("disk-arm")
+		d.mu.Lock()
+		end()
+		return
+	}
+	d.mu.Lock()
 }
 
 // Counts reports sectors read and written.

@@ -1,0 +1,525 @@
+// Package klat is the request-level tail-latency plane: where kstat
+// aggregates and kprof attributes cycles to code, klat follows ONE
+// request end to end and decomposes its latency into a hop-by-hop
+// ledger — send, queue-wait, handler service, resume — so a p99 outlier
+// has a named causal timeline instead of a bucket count.
+//
+// # The clock
+//
+// Every stamp reads the machine-wide cycle counter (on SMP, the Complex
+// router's sum across engines).  That clock is monotonic under the
+// happens-before edges the RPC path already establishes (program order
+// on each side, channel hand-offs at the rendezvous and the reply), so
+// the five stamps of a hop always telescope:
+//
+//	P0 client entry   ─┐ Send    = P1-P0  (client stub, copy, charge)
+//	P1 rendezvous     ─┤ Queue   = P2-P1  (waiting for a server thread)
+//	P2 server pickup  ─┤ Service = P3-P2  (receive path + handler + reply)
+//	P3 reply commit   ─┤ Resume  = P4-P3  (client resume, AS switch back)
+//	P4 client return  ─┘ E2E     = P4-P0  = Send+Queue+Service+Resume
+//
+// The identity is exact BY CONSTRUCTION — the segments are differences
+// of the same stamps that define the end-to-end figure, not samples —
+// which is what lets the E-TAIL gate demand that exemplar ledgers sum
+// to the measured latency cycle for cycle.  Under concurrency a
+// segment's cycles include every engine's concurrent charges; that is
+// the point: while a request waits on the disk arm, the cycles its
+// competitors burn ARE its queueing delay, exactly as wall time is on
+// real hardware.
+//
+// # Propagation
+//
+// The hop pointer rides in the mach message header (see Message.lat),
+// so the server side of a crossing stamps the same ledger the client
+// opened.  Within a handler, propagation is by goroutine: dispatchReply
+// binds the hop to the serving goroutine, nested Calls made by the
+// handler attach as child hops, and the waits a subsystem wants named
+// (the buffer-cache lock, the disk arm) mark the bound hop.  A child's
+// window nests inside its parent's service window (the chain is
+// synchronous), so OwnService = Service − Σ child E2E never underflows
+// and the whole tree still sums exactly.
+//
+// Vectored carriers get one hop for the crossing plus a sub-hop per
+// demultiplexed sub-request (service window only — subs share the
+// carrier's queue and crossing).  The critical-path reduction descends
+// into the slowest sub: the carrier's latency is that sub's path, and
+// the dump annotates it.
+//
+// # Recording
+//
+// Every successful hop lands in its (server, op) family: log-bucketed
+// e2e/queue/service/cross histograms (kept here for self-contained
+// dumps and mirrored into the attached kstat set under klat.*), plus a
+// bounded top-K exemplar reservoir of ROOT hops — the slowest complete
+// requests, full ledger retained.  Failed or abandoned hops are
+// discarded: their server-side stamps may still be in flight, and a
+// tail story built from half-measured requests would lie.
+//
+// Like kstat/ktrace/kprof/kflight, klat is observation-only: every hook
+// is a counter read plus private bookkeeping, no modeled charge, so a
+// detached boot models bit-identical cycles (TestTailWorkloadObservationOnly).
+package klat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpu"
+	"repro/internal/kstat"
+)
+
+// Stamp indices of a hop, in causal order.
+const (
+	pEntry  = iota // P0: client entry (Begin)
+	pSend          // P1: send burst done, entering the rendezvous
+	pRecv          // P2: a server thread picked the exchange up
+	pServed        // P3: reply committed (service end)
+	pReturn        // P4: client back in user mode
+	numStamps
+)
+
+// ExemplarK bounds each family's exemplar reservoir: the K slowest root
+// requests keep their full ledgers, everything else is histogram-only.
+const ExemplarK = 8
+
+// stamp is one captured clock point: the cycle counter plus the event
+// counters whose fixed unit costs let a dump estimate how much of a
+// window was crossing cost (AS switches + I-cache refill) vs cache-miss
+// stall.  Fields are atomics because client and server goroutines write
+// different stamps of the same hop; the happens-before edges of the RPC
+// path order them, the atomics keep the race detector satisfied.
+type stamp struct {
+	done     atomic.Bool
+	cycles   atomic.Uint64
+	imiss    atomic.Uint64
+	dmiss    atomic.Uint64
+	tlb      atomic.Uint64
+	switches atomic.Uint64
+}
+
+func (s *stamp) set(c cpu.Counters) {
+	s.cycles.Store(c.Cycles)
+	s.imiss.Store(c.ICacheMisses)
+	s.dmiss.Store(c.DCacheMisses)
+	s.tlb.Store(c.TLBMisses)
+	s.switches.Store(c.Switches)
+	s.done.Store(true)
+}
+
+// Hop is one crossing's ledger entry.  A request's ledger is the tree
+// of hops rooted at the client entry point: nested Calls made while
+// serving it are children, carrier sub-requests are Sub children.
+type Hop struct {
+	// ID is the request ID minted at Begin — unique per tracker, so an
+	// exemplar can be named across dumps.
+	ID uint64
+	// Server is the destination server's task name ("?" when the port
+	// could not be resolved charge-free).
+	Server string
+	// Op is the operation selector of the request message.
+	Op uint32
+	// Width is the sub-request count of a vectored carrier (0 = plain).
+	Width int
+	// Sub marks a demultiplexed carrier sub-request: service window
+	// only, no queue or crossing segments of its own.
+	Sub bool
+	// Root marks a hop opened outside any handler — a client entry
+	// point.  Only root hops enter the exemplar reservoir.
+	Root bool
+
+	t      *Tracker
+	stamps [numStamps]stamp
+	sealed atomic.Bool
+
+	mu       sync.Mutex
+	children []*Hop
+	marks    map[string]uint64
+	notes    map[string]uint64
+	// Modeled schedule of the hop's server burst, attached at reply
+	// delivery on SMP boots (zero on single-CPU, where the wall clock
+	// and the model clock coincide): the burst's charged length, its
+	// wait on the destination pool's virtual capacity (the block
+	// driver's single slot = the disk arm), and its wait on engine
+	// capacity — virtual cycles, outside the wall-segment partition.
+	schedBurst    uint64
+	schedPoolWait uint64
+	schedCPUWait  uint64
+}
+
+func (h *Hop) stampNow(i int) {
+	h.stamps[i].set(h.t.eng.Counters())
+}
+
+// seg returns the cycle width of [a, b], or 0 when either end was never
+// reached (failed hops are discarded before anyone asks).
+func (h *Hop) seg(a, b int) uint64 {
+	if !h.stamps[a].done.Load() || !h.stamps[b].done.Load() {
+		return 0
+	}
+	return h.stamps[b].cycles.Load() - h.stamps[a].cycles.Load()
+}
+
+func (h *Hop) start() int {
+	if h.Sub {
+		return pRecv
+	}
+	return pEntry
+}
+
+func (h *Hop) end() int {
+	if h.Sub {
+		return pServed
+	}
+	return pReturn
+}
+
+// E2E is the hop's end-to-end cycles: P4−P0, or the service window for
+// a carrier sub.
+func (h *Hop) E2E() uint64 { return h.seg(h.start(), h.end()) }
+
+func (h *Hop) addChild(c *Hop) {
+	h.mu.Lock()
+	h.children = append(h.children, c)
+	h.mu.Unlock()
+}
+
+func (h *Hop) addMark(name string, cycles uint64) {
+	h.mu.Lock()
+	if h.marks == nil {
+		h.marks = make(map[string]uint64)
+	}
+	h.marks[name] += cycles
+	h.mu.Unlock()
+}
+
+// NoteSched attaches the modeled schedule of the hop's settled server
+// burst: burst length (pure handler charges), pool-capacity wait, and
+// engine wait, in virtual cycles.  Called from the mach reply path
+// right after the burst releases; nil-receiver-safe like the stamps.
+func (h *Hop) NoteSched(burst, poolWait, cpuWait uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.schedBurst += burst
+	h.schedPoolWait += poolWait
+	h.schedCPUWait += cpuWait
+	h.mu.Unlock()
+}
+
+func (h *Hop) addNote(name string, n uint64) {
+	h.mu.Lock()
+	if h.notes == nil {
+		h.notes = make(map[string]uint64)
+	}
+	h.notes[name] += n
+	h.mu.Unlock()
+}
+
+// --- stamp points called from the mach RPC path ----------------------------
+//
+// All are nil-receiver-safe: a detached boot never mints hops, so every
+// message carries lat == nil and the hooks reduce to one branch.
+
+// StampSent marks P1: the send burst is charged and the client is about
+// to enter the rendezvous.  Everything after this stamp and before a
+// server thread's pickup is queue-wait.
+func (h *Hop) StampSent() {
+	if h == nil {
+		return
+	}
+	h.stampNow(pSend)
+}
+
+// StampPicked marks P2: a server thread took the exchange out of the
+// rendezvous.  RPCReceive and RPCReceiveSet both call it.
+func (h *Hop) StampPicked() {
+	if h == nil {
+		return
+	}
+	h.stampNow(pRecv)
+}
+
+// StampServed marks P3: the reply committed — the server-occupancy
+// segment of the hop ends here, the client's resume begins.
+func (h *Hop) StampServed() {
+	if h == nil {
+		return
+	}
+	h.stampNow(pServed)
+}
+
+// --- goroutine context -----------------------------------------------------
+
+// current maps goroutine ID -> the hop being served on it.  The handler
+// chain of one request is synchronous on one goroutine (vfs worker
+// calling into bcache calling the driver through the bound disk
+// thread), so goroutine identity IS request identity between Bind and
+// its unbind — the same reason the kprof context stack works.
+var current sync.Map
+
+// goid parses the running goroutine's ID from its stack header — the
+// only portable way to name a goroutine, and cheap enough for a
+// per-RPC observation plane (one small fixed-size Stack call).
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [...": the ID starts at byte 10.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+var nopUnbind = func() {}
+
+// Bind makes h the goroutine's current hop until the returned func runs,
+// restoring whatever was bound before (dispatch can nest: a carrier's
+// sub-hop binds inside the carrier's own binding).  Nil-safe no-op.
+func (h *Hop) Bind() func() {
+	if h == nil {
+		return nopUnbind
+	}
+	g := goid()
+	prev, had := current.Load(g)
+	current.Store(g, h)
+	return func() {
+		if had {
+			current.Store(g, prev)
+		} else {
+			current.Delete(g)
+		}
+	}
+}
+
+// Current returns the hop bound to the calling goroutine, or nil.
+func Current() *Hop {
+	v, ok := current.Load(goid())
+	if !ok {
+		return nil
+	}
+	return v.(*Hop)
+}
+
+// --- tracker ---------------------------------------------------------------
+
+// famKey identifies a latency family: one destination server × one
+// operation selector.
+type famKey struct {
+	server string
+	op     uint32
+}
+
+// family holds one (server, op) pair's histograms and exemplars.
+type family struct {
+	e2e, queue, service, cross *kstat.Histogram
+	// Mirror names in the attached kstat set, precomputed once.
+	e2eFam, queueFam, serviceFam, crossFam string
+
+	mu        sync.Mutex
+	exemplars []*Hop // root hops, the K largest E2Es, unsorted
+}
+
+// Tracker is the per-engine tail-latency plane.  One is attached to the
+// system's router engine at boot; detaching restores the zero-cost path.
+type Tracker struct {
+	eng *cpu.Engine
+	cfg cpu.Config
+	seq atomic.Uint64
+
+	mu   sync.Mutex
+	fams map[famKey]*family
+}
+
+// registry maps *cpu.Engine -> *Tracker, exactly as kstat's: hook
+// points consult it, a miss is the disabled fast path.
+var registry sync.Map
+
+// Attach creates a tracker for the engine (replacing any prior one) and
+// registers it for the RPC path's hook points.
+func Attach(eng *cpu.Engine) *Tracker {
+	t := &Tracker{eng: eng, cfg: eng.Config(), fams: make(map[famKey]*family)}
+	registry.Store(eng, t)
+	return t
+}
+
+// Detach unregisters the engine's tracker; hooks become no-ops again.
+func Detach(eng *cpu.Engine) {
+	registry.Delete(eng)
+}
+
+// For returns the engine's tracker, or nil when the plane is disabled.
+// This is the hook-point fast path.
+func For(eng *cpu.Engine) *Tracker {
+	v, ok := registry.Load(eng)
+	if !ok {
+		return nil
+	}
+	return v.(*Tracker)
+}
+
+// Begin opens a hop for one outgoing call and stamps P0.  If the
+// calling goroutine is serving a request (a handler making a nested
+// call), the hop attaches to that ledger as a child; otherwise it is a
+// root — a fresh request ID minted at a client entry point.  Nil-safe.
+func (t *Tracker) Begin(server string, op uint32, width int) *Hop {
+	if t == nil {
+		return nil
+	}
+	if server == "" {
+		server = "?"
+	}
+	h := &Hop{t: t, ID: t.seq.Add(1), Server: server, Op: op, Width: width}
+	if parent := Current(); parent != nil && !parent.sealed.Load() {
+		parent.addChild(h)
+	} else {
+		h.Root = true
+	}
+	h.stampNow(pEntry)
+	return h
+}
+
+// BeginSub opens a sub-hop under a carrier hop for one demultiplexed
+// sub-request and stamps its service-window start.  Subs inherit the
+// carrier's server (same crossing) and record only a service window:
+// queueing and crossing were paid once, by the carrier.  Nil-safe.
+func (h *Hop) BeginSub(op uint32) *Hop {
+	if h == nil {
+		return nil
+	}
+	t := h.t
+	sh := &Hop{t: t, ID: t.seq.Add(1), Server: h.Server, Op: op, Sub: true}
+	h.addChild(sh)
+	sh.stampNow(pRecv)
+	return sh
+}
+
+// EndSub seals a sub-hop at its service-window end and records it.
+func (sh *Hop) EndSub() {
+	if sh == nil {
+		return
+	}
+	sh.stampNow(pServed)
+	sh.sealed.Store(true)
+	sh.t.record(sh)
+}
+
+// Finish stamps P4, seals the hop, and records it — or discards it when
+// the call failed: an abandoned exchange's server-side stamps may still
+// be in flight, and half-measured requests have no place in a tail
+// story.  Nil-safe.
+func (t *Tracker) Finish(h *Hop, err error) {
+	if t == nil || h == nil {
+		return
+	}
+	h.stampNow(pReturn)
+	h.sealed.Store(true)
+	if err != nil {
+		return
+	}
+	t.record(h)
+}
+
+// MarkBegin opens a named wait mark on the goroutine's current hop —
+// the subsystem-level waits worth naming in a ledger, like the buffer
+// cache's lock (held across device I/O, it IS the disk-arm queue) or
+// the disk's own arm mutex.  The returned func closes the mark, adding
+// the global cycles that elapsed to the hop; with no hop bound (or t
+// nil) both ends are no-ops.  Marks lie inside the hop's own service
+// window and outside its children's windows, so the component rollup
+// can subtract them from own-service without double counting.
+func (t *Tracker) MarkBegin(name string) func() {
+	if t == nil {
+		return nopUnbind
+	}
+	h := Current()
+	if h == nil {
+		return nopUnbind
+	}
+	start := t.eng.Counters().Cycles
+	return func() {
+		h.addMark(name, t.eng.Counters().Cycles-start)
+	}
+}
+
+// Note annotates the goroutine's current hop with a named count (cache
+// hits, sectors flushed) for exemplar drill-downs.  Nil-safe.
+func (t *Tracker) Note(name string, n uint64) {
+	if t == nil || n == 0 {
+		return
+	}
+	if h := Current(); h != nil {
+		h.addNote(name, n)
+	}
+}
+
+// record lands one sealed, successful hop in its family: histograms
+// always, the exemplar reservoir for roots.
+func (t *Tracker) record(h *Hop) {
+	f := t.family(h.Server, h.Op)
+	e2e := h.E2E()
+	f.e2e.Observe(e2e)
+	f.service.Observe(h.seg(pRecv, pServed))
+	if !h.Sub {
+		f.queue.Observe(h.seg(pSend, pRecv))
+		f.cross.Observe(h.seg(pEntry, pSend) + h.seg(pServed, pReturn))
+	}
+	// Mirror into the attached kstat set so the monitor's snapshot
+	// protocol and the Prometheus exposition see the same families.
+	if st := kstat.For(t.eng); st != nil {
+		st.Histogram(f.e2eFam).Observe(e2e)
+		st.Histogram(f.serviceFam).Observe(h.seg(pRecv, pServed))
+		if !h.Sub {
+			st.Histogram(f.queueFam).Observe(h.seg(pSend, pRecv))
+			st.Histogram(f.crossFam).Observe(h.seg(pEntry, pSend) + h.seg(pServed, pReturn))
+		}
+	}
+	if !h.Root {
+		return
+	}
+	f.mu.Lock()
+	if len(f.exemplars) < ExemplarK {
+		f.exemplars = append(f.exemplars, h)
+	} else {
+		min, at := e2e, -1
+		for i, ex := range f.exemplars {
+			if v := ex.E2E(); v < min {
+				min, at = v, i
+			}
+		}
+		if at >= 0 {
+			f.exemplars[at] = h
+		}
+	}
+	f.mu.Unlock()
+}
+
+func (t *Tracker) family(server string, op uint32) *family {
+	k := famKey{server, op}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.fams[k]; ok {
+		return f
+	}
+	base := famName(server, op)
+	f := &family{
+		e2e: new(kstat.Histogram), queue: new(kstat.Histogram),
+		service: new(kstat.Histogram), cross: new(kstat.Histogram),
+		e2eFam: base + ".e2e_cycles", queueFam: base + ".queue_cycles",
+		serviceFam: base + ".service_cycles", crossFam: base + ".cross_cycles",
+	}
+	t.fams[k] = f
+	return f
+}
+
+// famName is the kstat mirror prefix for one latency family.
+func famName(server string, op uint32) string {
+	const hexdig = "0123456789abcdef"
+	return "klat." + server + ".0x" +
+		string([]byte{hexdig[op>>12&0xf], hexdig[op>>8&0xf], hexdig[op>>4&0xf], hexdig[op&0xf]})
+}

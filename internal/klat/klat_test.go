@@ -1,0 +1,367 @@
+package klat
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func newTracker(t *testing.T) (*Tracker, *cpu.Engine) {
+	t.Helper()
+	eng := cpu.NewEngine(cpu.Pentium133())
+	tr := Attach(eng)
+	t.Cleanup(func() { Detach(eng) })
+	return tr, eng
+}
+
+// driveHop walks one hop through the five stamp points, advancing the
+// clock by the given segment widths (in stall cycles) between stamps.
+func driveHop(tr *Tracker, eng *cpu.Engine, server string, op uint32, send, queue, service, resume uint64) *Hop {
+	h := tr.Begin(server, op, 0)
+	eng.Stall(send)
+	h.StampSent()
+	eng.Stall(queue)
+	h.StampPicked()
+	eng.Stall(service)
+	h.StampServed()
+	eng.Stall(resume)
+	tr.Finish(h, nil)
+	return h
+}
+
+// TestTelescoping: the four segments sum to the end-to-end figure
+// exactly — the identity every exemplar gate builds on.
+func TestTelescoping(t *testing.T) {
+	tr, eng := newTracker(t)
+	driveHop(tr, eng, "files", 0x0201, 100, 2000, 750, 30)
+	d := tr.Dump()
+	if len(d.Families) != 1 {
+		t.Fatalf("families = %d, want 1", len(d.Families))
+	}
+	f := d.Families[0]
+	if f.Server != "files" || f.Op != 0x0201 {
+		t.Fatalf("family = %s/%#x", f.Server, f.Op)
+	}
+	if len(f.Exemplars) != 1 {
+		t.Fatalf("exemplars = %d, want 1", len(f.Exemplars))
+	}
+	ex := f.Exemplars[0]
+	if ex.Send != 100 || ex.Queue != 2000 || ex.Service != 750 || ex.Resume != 30 {
+		t.Fatalf("segments = %d/%d/%d/%d", ex.Send, ex.Queue, ex.Service, ex.Resume)
+	}
+	if got := ex.Send + ex.Queue + ex.Service + ex.Resume; got != ex.E2E {
+		t.Fatalf("segment sum %d != e2e %d", got, ex.E2E)
+	}
+	if sum := componentSum(&ex); sum != ex.E2E {
+		t.Fatalf("component sum %d != e2e %d", sum, ex.E2E)
+	}
+	if f.E2E.Count != 1 || f.E2E.Sum != ex.E2E {
+		t.Fatalf("family e2e hist count=%d sum=%d", f.E2E.Count, f.E2E.Sum)
+	}
+}
+
+func componentSum(h *HopDump) uint64 {
+	var sum uint64
+	for _, v := range h.Components() {
+		sum += v
+	}
+	return sum
+}
+
+// TestNestedChildren: a call made while bound to a serving hop attaches
+// as a child; own-service is the parent's service minus the child's
+// window, and the rollup still sums exactly.
+func TestNestedChildren(t *testing.T) {
+	tr, eng := newTracker(t)
+	root := tr.Begin("files", 0x0201, 0)
+	eng.Stall(10)
+	root.StampSent()
+	eng.Stall(20)
+	root.StampPicked()
+	// Handler runs: some own work, then a nested driver call under a
+	// goroutine binding, then more own work.
+	unbind := root.Bind()
+	eng.Stall(100)
+	child := driveHop(tr, eng, "blockdrv", 0x0d01, 5, 40, 5000, 5)
+	eng.Stall(200)
+	unbind()
+	root.StampServed()
+	eng.Stall(30)
+	tr.Finish(root, nil)
+
+	if child.Root {
+		t.Fatal("nested hop must not be a root")
+	}
+	d := tr.Dump()
+	var ex *HopDump
+	for i := range d.Families {
+		f := &d.Families[i]
+		if f.Server == "files" && len(f.Exemplars) == 1 {
+			ex = &f.Exemplars[0]
+		}
+		// The nested driver hop lands in its own family's histograms but
+		// never in the reservoir.
+		if f.Server == "blockdrv" && len(f.Exemplars) != 0 {
+			t.Fatal("non-root hop entered the exemplar reservoir")
+		}
+	}
+	if ex == nil {
+		t.Fatal("no files exemplar")
+	}
+	if len(ex.Children) != 1 {
+		t.Fatalf("children = %d, want 1", len(ex.Children))
+	}
+	c := ex.Children[0]
+	if c.Server != "blockdrv" || c.E2E != 5+40+5000+5 {
+		t.Fatalf("child = %s e2e=%d", c.Server, c.E2E)
+	}
+	if want := ex.Service - c.E2E; ex.Own != want {
+		t.Fatalf("own = %d, want service %d - child %d", ex.Own, ex.Service, c.E2E)
+	}
+	if sum := componentSum(ex); sum != ex.E2E {
+		t.Fatalf("component sum %d != e2e %d", sum, ex.E2E)
+	}
+	if !c.Critical {
+		t.Fatal("a sequential child is on the critical path")
+	}
+}
+
+// TestMarksSubtractFromOwn: a named wait lands in wait.<mark> and comes
+// out of the hop's own-service bucket, keeping the partition exact.
+func TestMarksSubtractFromOwn(t *testing.T) {
+	tr, eng := newTracker(t)
+	h := tr.Begin("files", 0x0202, 0)
+	h.StampSent()
+	h.StampPicked()
+	unbind := h.Bind()
+	end := tr.MarkBegin("bcache-lock")
+	eng.Stall(4000)
+	end()
+	eng.Stall(1000)
+	tr.Note("bcache.miss", 3)
+	unbind()
+	h.StampServed()
+	tr.Finish(h, nil)
+
+	ex := tr.Dump().Families[0].Exemplars[0]
+	if ex.Marks["bcache-lock"] != 4000 {
+		t.Fatalf("mark = %d, want 4000", ex.Marks["bcache-lock"])
+	}
+	if ex.Notes["bcache.miss"] != 3 {
+		t.Fatalf("note = %d, want 3", ex.Notes["bcache.miss"])
+	}
+	comp := ex.Components()
+	if comp["wait.bcache-lock"] != 4000 {
+		t.Fatalf("wait component = %d", comp["wait.bcache-lock"])
+	}
+	if comp["service.files"] != ex.Own-4000 {
+		t.Fatalf("service component = %d, want own %d - 4000", comp["service.files"], ex.Own)
+	}
+	if sum := componentSum(&ex); sum != ex.E2E {
+		t.Fatalf("component sum %d != e2e %d", sum, ex.E2E)
+	}
+}
+
+// TestReservoirKeepsSlowest: the reservoir is bounded at ExemplarK and
+// retains the largest end-to-end figures.
+func TestReservoirKeepsSlowest(t *testing.T) {
+	tr, eng := newTracker(t)
+	n := ExemplarK + 5
+	for i := 1; i <= n; i++ {
+		driveHop(tr, eng, "files", 0x0201, 0, 0, uint64(i)*1000, 0)
+	}
+	f := tr.Dump().Families[0]
+	if len(f.Exemplars) != ExemplarK {
+		t.Fatalf("reservoir = %d, want %d", len(f.Exemplars), ExemplarK)
+	}
+	// Slowest first, and only the top K survived.
+	for i, ex := range f.Exemplars {
+		want := uint64(n-i) * 1000
+		if ex.E2E != want {
+			t.Fatalf("exemplar %d e2e = %d, want %d", i, ex.E2E, want)
+		}
+	}
+	if f.E2E.Count != uint64(n) {
+		t.Fatalf("histogram count = %d, want %d (every hop observes)", f.E2E.Count, n)
+	}
+	if p99, p50 := f.E2E.Quantile(0.99), f.E2E.Quantile(0.50); p99 < p50 {
+		t.Fatalf("p99 %d < p50 %d", p99, p50)
+	}
+}
+
+// TestCarrierCriticalPath: a carrier's critical path descends into the
+// slowest sub only; sub windows partition the carrier's service.
+func TestCarrierCriticalPath(t *testing.T) {
+	tr, eng := newTracker(t)
+	carrier := tr.Begin("blockdrv", 0x0d02, 3)
+	eng.Stall(10)
+	carrier.StampSent()
+	eng.Stall(20)
+	carrier.StampPicked()
+	unbind := carrier.Bind()
+	widths := []uint64{500, 9000, 700}
+	for _, w := range widths {
+		sh := carrier.BeginSub(0x0d02)
+		rebind := sh.Bind()
+		eng.Stall(w)
+		rebind()
+		sh.EndSub()
+	}
+	unbind()
+	carrier.StampServed()
+	eng.Stall(5)
+	tr.Finish(carrier, nil)
+
+	ex := tr.Dump().Families[0].Exemplars[0]
+	if ex.Width != 3 || len(ex.Children) != 3 {
+		t.Fatalf("width=%d children=%d", ex.Width, len(ex.Children))
+	}
+	for i, c := range ex.Children {
+		if !c.Sub || c.E2E != widths[i] {
+			t.Fatalf("sub %d: sub=%v e2e=%d want %d", i, c.Sub, c.E2E, widths[i])
+		}
+		if onPath := i == 1; c.Critical != onPath {
+			t.Fatalf("sub %d critical=%v, want %v (slowest sub only)", i, c.Critical, onPath)
+		}
+	}
+	if ex.Own != ex.Service-(500+9000+700) {
+		t.Fatalf("own = %d", ex.Own)
+	}
+	if sum := componentSum(&ex); sum != ex.E2E {
+		t.Fatalf("component sum %d != e2e %d", sum, ex.E2E)
+	}
+}
+
+// TestFailedHopDiscarded: error outcomes never reach histograms or the
+// reservoir — their server-side stamps may still be in flight.
+func TestFailedHopDiscarded(t *testing.T) {
+	tr, eng := newTracker(t)
+	h := tr.Begin("files", 0x0201, 0)
+	eng.Stall(100)
+	tr.Finish(h, errors.New("timeout"))
+	if d := tr.Dump(); len(d.Families) != 0 {
+		t.Fatalf("failed hop recorded: %+v", d.Families)
+	}
+}
+
+// TestBindNesting: Bind restores the previous binding, and bindings are
+// goroutine-local.
+func TestBindNesting(t *testing.T) {
+	tr, _ := newTracker(t)
+	a := tr.Begin("a", 1, 0)
+	b := tr.Begin("b", 2, 0)
+	ua := a.Bind()
+	if Current() != a {
+		t.Fatal("a not current")
+	}
+	ub := b.Bind()
+	if Current() != b {
+		t.Fatal("b not current")
+	}
+	done := make(chan bool)
+	go func() { done <- Current() == nil }()
+	if !<-done {
+		t.Fatal("binding leaked across goroutines")
+	}
+	ub()
+	if Current() != a {
+		t.Fatal("unbind did not restore a")
+	}
+	ua()
+	if Current() != nil {
+		t.Fatal("outer unbind did not clear")
+	}
+}
+
+// TestNilSafety: every hook is a no-op with the plane detached — the
+// shape the whole RPC path relies on.
+func TestNilSafety(t *testing.T) {
+	eng := cpu.NewEngine(cpu.Pentium133())
+	var tr *Tracker = For(eng) // not attached
+	if tr != nil {
+		t.Fatal("For on unattached engine")
+	}
+	h := tr.Begin("x", 1, 0)
+	if h != nil {
+		t.Fatal("Begin on nil tracker minted a hop")
+	}
+	h.StampSent()
+	h.StampPicked()
+	h.StampServed()
+	h.BeginSub(1).EndSub()
+	h.Bind()()
+	tr.MarkBegin("m")()
+	tr.Note("n", 1)
+	tr.Finish(h, nil)
+}
+
+// TestDumpRoundTrip: JSON out, JSON in, same ledger.
+func TestDumpRoundTrip(t *testing.T) {
+	tr, eng := newTracker(t)
+	driveHop(tr, eng, "files", 0x0201, 1, 2, 3, 4)
+	var buf bytes.Buffer
+	if err := tr.Dump().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Families) != 1 || d.Families[0].Exemplars[0].E2E != 10 {
+		t.Fatalf("round trip mangled the dump: %+v", d)
+	}
+	var txt bytes.Buffer
+	if err := d.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if txt.Len() == 0 {
+		t.Fatal("empty text render")
+	}
+}
+
+// TestConcurrentRecordAndDump: recorders on many goroutines race dump
+// queries; run under -race in tier 2.
+func TestConcurrentRecordAndDump(t *testing.T) {
+	tr, eng := newTracker(t)
+	var rec sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		rec.Add(1)
+		go func(g int) {
+			defer rec.Done()
+			for i := 0; i < 200; i++ {
+				driveHop(tr, eng, fmt.Sprintf("srv%d", g%2), uint32(g), 1, 1, uint64(i), 1)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var dmp sync.WaitGroup
+	dmp.Add(1)
+	go func() {
+		defer dmp.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d := tr.Dump()
+				for i := range d.Families {
+					for j := range d.Families[i].Exemplars {
+						ex := &d.Families[i].Exemplars[j]
+						if sum := componentSum(ex); sum != ex.E2E {
+							t.Errorf("component sum %d != e2e %d", sum, ex.E2E)
+							return
+						}
+					}
+				}
+			}
+		}
+	}()
+	rec.Wait()
+	close(stop)
+	dmp.Wait()
+	tr.Dump()
+}

@@ -1,6 +1,9 @@
 package mach
 
-import "repro/internal/ktrace"
+import (
+	"repro/internal/klat"
+	"repro/internal/ktrace"
+)
 
 // MsgID identifies the operation requested by a message, as in MIG-
 // generated interfaces.
@@ -125,6 +128,15 @@ type Message struct {
 	// trace carries the sender's span context so the receiver's work is
 	// parented to the operation that caused it (ktrace correlation).
 	trace ktrace.SpanContext
+
+	// lat is the request's tail-latency ledger entry, minted by the
+	// client entry point and riding in the header — like trace — so the
+	// server side of the crossing stamps the same ledger the client
+	// opened.  cloneForDelivery's shallow copy preserves it, which is
+	// exactly right: both sides of one crossing share one hop.  A
+	// vectored carrier carries the carrier hop; its subs get sub-hops
+	// at demux time, not header fields.  Nil on detached boots.
+	lat *klat.Hop
 }
 
 // Size returns the total byte count the message transfers, including

@@ -242,6 +242,10 @@ func (th *Thread) RPCReceiveSet(ps *PortSet) (*Message, *Responder, PortName, er
 		return nil, nil, NullName, ErrDeadPort
 	}
 	th.clearWait()
+	// P2 for set-served requests (the file server's port-per-open-file
+	// pools): queue-wait — including the forwarder relay — ends when a
+	// pool thread takes the delivery.
+	d.ex.request.lat.StampPicked()
 	// One scheduled burst covers receive, handler and reply, as in
 	// RPCReceive; the release rides in the Responder.  The burst
 	// serializes on the pool's virtual capacity — not on th's own

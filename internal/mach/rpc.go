@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/kflight"
+	"repro/internal/klat"
 	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/ktrace"
@@ -153,17 +154,28 @@ func (th *Thread) rpcCall(dest PortName, req *Message, deadline <-chan time.Time
 	st := kstat.For(k.CPU)
 	pr := kprof.For(k.CPU)
 	fr := kflight.For(k.CPU)
-	if st == nil && pr == nil && fr == nil {
+	lt := klat.For(k.CPU)
+	if st == nil && pr == nil && fr == nil && lt == nil {
 		return th.rpcCallRaw(dest, req, deadline)
 	}
 	// Charge-free destination-server lookup, shared by the kstat
-	// per-destination split, the kprof dispatch context frame, and the
-	// flight recorder's call event.
+	// per-destination split, the kprof dispatch context frame, the
+	// flight recorder's call event, and the latency ledger's hop.
 	srvName := ""
 	if e, lerr := th.task.ports.lookup(dest, RightSend); lerr == nil {
 		if rt := e.port.receiverTask(); rt != nil {
 			srvName = rt.name
 		}
+	}
+	if lt != nil {
+		// Every client entry point mints a hop here: P0 now, P1–P3 from
+		// the stamp points down the path (the hop rides in the message
+		// header), P4 and the record/discard decision when the named
+		// return is known.  A call made while serving another request
+		// attaches to that request's ledger as a child hop.
+		hop := lt.Begin(srvName, uint32(req.ID), len(req.batch))
+		req.lat = hop
+		defer func() { lt.Finish(hop, err) }()
 	}
 	if fr != nil {
 		name := srvName
@@ -352,6 +364,10 @@ func (th *Thread) rpcCallRaw(dest PortName, req *Message, deadline <-chan time.T
 	release()
 	defer th.clearWait()
 
+	// P1: the send burst is fully charged; cycles from here to a server
+	// thread's pickup are the hop's queue-wait.
+	req.lat.StampSent()
+
 	th.setWait(kflight.WaitRendezvous, port, nil, uint32(req.ID))
 	select {
 	case port.rpc <- ex:
@@ -431,6 +447,9 @@ func (th *Thread) RPCReceive(recvName PortName) (*Message, *Responder, error) {
 		return nil, nil, ErrAborted
 	}
 	th.clearWait()
+	// P2: a server thread has the exchange; queue-wait ends, the
+	// service segment (receive path, handler, reply) begins.
+	ex.request.lat.StampPicked()
 	if fr := kflight.For(k.CPU); fr != nil {
 		fr.Emit(ktrace.EvRPCServe, "mach.rpc", "recv:"+th.task.name, uint64(ex.request.ID))
 	}
@@ -633,7 +652,20 @@ func (r *Responder) deliver(reply *Message) error {
 		if r.release != nil {
 			r.release()
 			r.release = nil
+			// The burst just settled: attach its modeled schedule to the
+			// hop's ledger.  On a multi-engine run the wall-clock segments
+			// measure global work during the hop, not this request's own
+			// waiting, so these virtual-cycle figures — burst length, pool
+			// wait, engine wait — are what E-TAIL's queue attribution
+			// reasons over.
+			r.ex.request.lat.NoteSched(r.srv.schedBurst.Load(),
+				r.srv.schedPoolWait.Load(), r.srv.schedCPUWait.Load())
 		}
+		// P3: the reply is committed and the burst released — service
+		// ends here, the client's resume segment starts.  Only the
+		// committed branch stamps: an abandoned exchange's hop was
+		// discarded by the client and must not be written further.
+		r.ex.request.lat.StampServed()
 		r.ex.reply <- rpcOutcome{m: delivered, vt: r.srv.vt.Load()}
 	}
 	return nil
@@ -656,11 +688,25 @@ type Handler func(*Message) *Message
 // carriers: each sub-request is handled independently, in order, and the
 // sub-replies travel back in one crossing.  Handlers never see a
 // carrier, so every existing handler is batch-transparent.
+//
+// This is also where the latency ledger crosses from message to
+// goroutine: the hop binds to the serving goroutine for the handler's
+// duration, so nested Calls the handler makes attach as child hops and
+// subsystem waits (bcache lock, disk arm) mark the right ledger.  A
+// carrier additionally gets one sub-hop per demultiplexed sub-request —
+// its service window — bound in place of the carrier while that sub
+// runs.  All of it is nil-safe no-ops on detached boots.
 func dispatchReply(resp *Responder, req *Message, h Handler) error {
+	unbind := req.lat.Bind()
+	defer unbind()
 	if subs := req.batch; subs != nil {
 		replies := make([]*Message, len(subs))
 		for i, sub := range subs {
+			sh := req.lat.BeginSub(uint32(sub.ID))
+			rebind := sh.Bind()
 			replies[i] = h(sub)
+			rebind()
+			sh.EndSub()
 		}
 		return resp.ReplyV(replies)
 	}

@@ -352,17 +352,43 @@ func (s *sched) place(th *Thread, pool *vtPool, ready uint64) func() {
 		// pool slot plus the caller's send) are both free, so concurrent
 		// bursts serialize in modeled time no matter how the host
 		// interleaved them.
-		start := se.busy.Add(length) - length
+		engFloor := se.busy.Add(length) - length
+		start := engFloor
+		var slotFloor uint64
 		if pool != nil {
-			if slotFloor := pool.claim(length); slotFloor > start {
+			slotFloor = pool.claim(length)
+			if slotFloor > start {
 				start = slotFloor
 			}
 			if ready > start {
 				start = ready
 			}
-		} else if rdy := th.vt.Load(); rdy > start {
-			start = rdy
+		} else {
+			ready = th.vt.Load()
+			if ready > start {
+				start = ready
+			}
 		}
+		// Observation only, for the latency ledger: decompose the burst's
+		// modeled wait (input available at ready, running at start) into
+		// pool-capacity queueing and engine queueing.  The slot floor
+		// beyond ready is time behind the pool's virtual servers (for the
+		// block driver, the single disk arm); the remainder is engine
+		// backlog.
+		var poolWait, cpuWait uint64
+		if start > ready {
+			wait := start - ready
+			if slotFloor > ready {
+				poolWait = slotFloor - ready
+				if poolWait > wait {
+					poolWait = wait
+				}
+			}
+			cpuWait = wait - poolWait
+		}
+		th.schedBurst.Store(length)
+		th.schedPoolWait.Store(poolWait)
+		th.schedCPUWait.Store(cpuWait)
 		end := start + length
 		for {
 			ev := se.vt.Load()

@@ -172,6 +172,18 @@ type Thread struct {
 	// on-server shows up in the modeled makespan.
 	vt atomic.Uint64
 
+	// schedBurst/schedPoolWait/schedCPUWait describe the modeled
+	// schedule of the thread's last settled burst: its charged length,
+	// the virtual cycles it waited on its pool's capacity (e.g. the
+	// block driver's single virtual server — the disk arm), and the
+	// virtual cycles it waited on engine capacity.  Observation only,
+	// recorded at release for the latency ledger; written by the
+	// releasing goroutine and read by the same goroutine immediately
+	// after (the reply-delivery path).
+	schedBurst    atomic.Uint64
+	schedPoolWait atomic.Uint64
+	schedCPUWait  atomic.Uint64
+
 	// poolVT, when set (by ServerPool before the worker loop starts),
 	// marks this thread as an interchangeable pool worker: its server
 	// bursts serialize on the pool's virtual capacity instead of on the

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/kflight"
+	"repro/internal/klat"
 	"repro/internal/kprof"
 	"repro/internal/kstat"
 	"repro/internal/mach"
@@ -34,6 +35,7 @@ const (
 	MsgProfStop
 	MsgProfile
 	MsgFlightDump
+	MsgTailDump
 )
 
 // Errors returned by the monitor.
@@ -42,6 +44,7 @@ var (
 	ErrBadRequest      = errors.New("monitor: malformed request")
 	ErrNoProfiler      = errors.New("monitor: no profiler attached (ProfStart first)")
 	ErrNoRecorder      = errors.New("monitor: no flight recorder attached")
+	ErrNoTracker       = errors.New("monitor: no tail-latency tracker attached")
 )
 
 // maxBaselines bounds the server's retained delta baselines; the oldest
@@ -157,6 +160,21 @@ func (s *Server) handle(req *mach.Message) *mach.Message {
 			return toWire(err)
 		}
 		return &mach.Message{ID: 0, OOL: buf.Bytes()}
+	case MsgTailDump:
+		// The tail plane snapshots like any family query: histogram
+		// state plus the sealed exemplar ledgers, JSON in the OOL
+		// region.  The reservoir keeps being written while this very
+		// query runs — Dump orders itself against live recorders with
+		// the family locks, which the pooled query-storm test exercises.
+		lt := klat.For(s.k.CPU)
+		if lt == nil {
+			return toWire(ErrNoTracker)
+		}
+		var buf bytes.Buffer
+		if err := lt.Dump().WriteJSON(&buf); err != nil {
+			return toWire(err)
+		}
+		return &mach.Message{ID: 0, OOL: buf.Bytes()}
 	default:
 		return toWire(ErrBadRequest)
 	}
@@ -198,7 +216,7 @@ func snapReply(id uint64, snap kstat.Snapshot) *mach.Message {
 	return &mach.Message{ID: 0, Body: idb[:], OOL: b}
 }
 
-var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest, ErrNoProfiler, ErrNoRecorder}
+var wireErrs = []error{ErrUnknownBaseline, ErrBadRequest, ErrNoProfiler, ErrNoRecorder, ErrNoTracker}
 
 func toWire(err error) *mach.Message {
 	return &mach.Message{ID: 1, Body: []byte(err.Error())}
@@ -325,4 +343,18 @@ func (c *Client) FlightDump() (*kflight.Dump, error) {
 		return nil, fromWire(string(reply.Body))
 	}
 	return kflight.ReadDump(bytes.NewReader(reply.OOL))
+}
+
+// TailDump fetches the tail-latency plane's snapshot: per-(server, op)
+// latency histograms and the exemplar ledgers of the slowest requests.
+// ErrNoTracker when the system runs with the tracker detached.
+func (c *Client) TailDump() (*klat.Dump, error) {
+	reply, err := c.th.Call(c.port, &mach.Message{ID: MsgTailDump}, mach.CallOpts{})
+	if err != nil {
+		return nil, err
+	}
+	if reply.ID != 0 {
+		return nil, fromWire(string(reply.Body))
+	}
+	return klat.ReadDump(bytes.NewReader(reply.OOL))
 }

@@ -15,7 +15,10 @@
 # sub-messages between client threads and pooled servers with zero
 # copies, so aliasing bugs there surface only under the race detector —
 # the vfs and drivers suites drive CallV/ReadV/WriteV/StatBatch and the
-# vectored write-behind flush from many concurrent clients).
+# vectored write-behind flush from many concurrent clients; klat's
+# per-request hops are stamped by whichever thread holds the message —
+# client, pool worker, carrier demux — while monitor dump queries walk
+# live ledgers under the family locks).
 # Tier-1 (go build && go test ./...) stays the merge gate; this catches
 # data races tier-1 cannot.
 set -eux
@@ -23,7 +26,7 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/kflight/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/... ./internal/drivers/...
+go test -race ./internal/cpu/... ./internal/kstat/... ./internal/ktrace/... ./internal/kprof/... ./internal/kflight/... ./internal/klat/... ./internal/mach/... ./internal/vfs/... ./internal/os2/... ./internal/monitor/... ./internal/bcache/... ./internal/drivers/...
 
 # Chaos short soak under the race detector: one seed, all six fault kinds,
 # full invariant oracle.  Kept -short so the race-instrumented run stays in

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tail-latency smoke: boot wpos, run the file workload, fetch the tail
+# dump over the monitor server's RPC (cmd/klat is a monitor client), and
+# verify the ledger plane saw the run: per-(server, op) histograms with
+# recorded requests, retained exemplars, and at least one multi-hop
+# ledger — a file-server request whose waterfall shows the nested
+# block-driver hop (file ops chain through the driver on misses).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go run ./cmd/klat -cpus 2 -pool 2 -cache 32 -workload file1 -top 2)
+echo "$out"
+echo
+
+if ! echo "$out" | grep -q '^fileserver .* [1-9]'; then
+	echo "tail smoke: no file-server request families recorded" >&2
+	exit 1
+fi
+
+exemplars=$(echo "$out" | grep -c '^\*call' || true)
+if [ "$exemplars" -lt 1 ]; then
+	echo "tail smoke: no exemplar ledgers retained" >&2
+	exit 1
+fi
+
+if ! echo "$out" | grep -q '^\*  call blockdrv'; then
+	echo "tail smoke: no multi-hop ledger (no nested block-driver hop retained)" >&2
+	exit 1
+fi
+
+echo "tail smoke ok: $exemplars exemplar ledgers, nested driver hops present"
